@@ -1,0 +1,27 @@
+//! Ablation (DESIGN.md #1): chained vs separate WRITE+SEND — the cost of
+//! the extra MMIO doorbell.
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use hat_protocols::ProtocolKind;
+use hat_rdma_sim::PollMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_chaining");
+    for kind in [ProtocolKind::DirectWriteSend, ProtocolKind::ChainedWriteSend] {
+        let mut pair = common::EchoPair::new(kind, PollMode::Busy, 4096);
+        let payload = vec![5u8; 256];
+        pair.client.call(&payload).expect("warmup");
+        group.bench_with_input(BenchmarkId::new(kind.label(), 256), &kind, |b, _| {
+            b.iter(|| pair.client.call(&payload).expect("echo"));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,59 @@
+//! Ablation (DESIGN.md #5): the dynamic-hint dispatch overhead — a
+//! HatRPC engine call (per-function plan lookup + channel map) vs a
+//! hardcoded fixed-protocol call on the same protocol/polling choice.
+//! The paper claims the hint path adds negligible cost.
+
+mod common;
+
+use std::sync::Arc;
+
+use criterion::Criterion;
+use hat_protocols::ProtocolKind;
+use hat_rdma_sim::{Fabric, PollMode, SimConfig};
+use hatrpc_core::engine::{HatClient, HatServer, ServerPolicy};
+use hatrpc_core::service::ServiceSchema;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hint_overhead");
+    let payload = vec![1u8; 256];
+
+    // Hinted path.
+    {
+        let idl = r#"service E { hint: perf_goal = latency, payload_size = 512; binary f(1: binary p) }"#;
+        let schema = ServiceSchema::parse(idl, "E").expect("idl");
+        let fabric = Fabric::new(SimConfig::default());
+        let sn = fabric.add_node("s");
+        let server = HatServer::serve(
+            &fabric,
+            &sn,
+            "e",
+            schema.clone(),
+            ServerPolicy::Threaded,
+            Arc::new(|| Box::new(|r: &[u8]| r.to_vec())),
+        );
+        let cn = fabric.add_node("c");
+        let mut client = HatClient::new(&fabric, &cn, "e", &schema);
+        client.call("f", &payload).expect("warmup");
+        group.bench_function("hinted_engine_call", |b| {
+            b.iter(|| client.call("f", &payload).expect("call"))
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    // Hardcoded path (the same protocol the hints select).
+    {
+        let mut pair = common::EchoPair::new(ProtocolKind::DirectWriteImm, PollMode::Busy, 4096);
+        pair.client.call(&payload).expect("warmup");
+        group.bench_function("hardcoded_protocol_call", |b| {
+            b.iter(|| pair.client.call(&payload).expect("call"))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

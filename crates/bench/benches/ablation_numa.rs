@@ -1,0 +1,48 @@
+//! Ablation (DESIGN.md / §5.5): the NUMA-binding hint. A thread bound to
+//! a NIC-local core pays no NUMA penalty on CPU-side verbs costs; an
+//! unbound thread pays the blended cross-socket factor. The simulator
+//! makes the effect deterministic, so the two benchmark ids should
+//! separate cleanly.
+
+mod common;
+
+use criterion::Criterion;
+use hat_rdma_sim::numa;
+use hat_protocols::ProtocolKind;
+use hat_rdma_sim::PollMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_numa_binding");
+    let payload = vec![4u8; 512];
+
+    {
+        let mut pair = common::EchoPair::new(ProtocolKind::DirectWriteImm, PollMode::Busy, 4096);
+        pair.client.call(&payload).expect("warmup");
+        group.bench_function("bound_to_nic_socket", |b| {
+            let _guard = numa::bind_current_thread(0); // NIC-local core
+            b.iter(|| pair.client.call(&payload).expect("call"));
+        });
+    }
+    {
+        let mut pair = common::EchoPair::new(ProtocolKind::DirectWriteImm, PollMode::Busy, 4096);
+        pair.client.call(&payload).expect("warmup");
+        group.bench_function("bound_to_remote_socket", |b| {
+            let _guard = numa::bind_current_thread(27); // far socket
+            b.iter(|| pair.client.call(&payload).expect("call"));
+        });
+    }
+    {
+        let mut pair = common::EchoPair::new(ProtocolKind::DirectWriteImm, PollMode::Busy, 4096);
+        pair.client.call(&payload).expect("warmup");
+        group.bench_function("unbound", |b| {
+            b.iter(|| pair.client.call(&payload).expect("call"));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,40 @@
+//! Figure 4 bench: per-call latency of the Figure 3 protocols.
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use hat_protocols::ProtocolKind;
+use hat_rdma_sim::PollMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_protocol_latency");
+    for kind in [
+        ProtocolKind::EagerSendRecv,
+        ProtocolKind::DirectWriteSend,
+        ProtocolKind::ChainedWriteSend,
+        ProtocolKind::WriteRndv,
+        ProtocolKind::ReadRndv,
+        ProtocolKind::DirectWriteImm,
+        ProtocolKind::Pilaf,
+        ProtocolKind::Farm,
+        ProtocolKind::Rfp,
+    ] {
+        for size in [512usize, 65536] {
+            let mut pair = common::EchoPair::new(kind, PollMode::Busy, size);
+            let payload = vec![0x2Au8; size];
+            pair.client.call(&payload).expect("warmup");
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), size),
+                &size,
+                |b, _| b.iter(|| pair.client.call(&payload).expect("echo")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

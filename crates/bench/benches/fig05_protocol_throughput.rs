@@ -1,0 +1,34 @@
+//! Figure 5 bench: aggregated multi-client throughput per protocol.
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use hat_bench::raw_throughput;
+use hat_protocols::ProtocolKind;
+use hat_rdma_sim::PollMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05_protocol_throughput");
+    group.sample_size(10);
+    const CLIENTS: usize = 4;
+    const ITERS: usize = 6;
+    for kind in [ProtocolKind::DirectWriteImm, ProtocolKind::Rfp, ProtocolKind::EagerSendRecv] {
+        for poll in [PollMode::Busy, PollMode::Event] {
+            group.throughput(Throughput::Elements((CLIENTS * ITERS) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("{poll:?}")),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| raw_throughput(kind, poll, 512, CLIENTS, ITERS));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,43 @@
+//! Figure 11 bench: ATB latency — HatRPC vs fixed-protocol baselines.
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use hat_atb::{run_latency, LatencyConfig, Mode};
+use hat_protocols::ProtocolKind;
+use hat_rdma_sim::{Fabric, PollMode, SimConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_atb_latency");
+    let modes = [
+        Mode::HatRpc,
+        Mode::Fixed(ProtocolKind::HybridEagerRndv, PollMode::Busy),
+        Mode::Fixed(ProtocolKind::DirectWriteImm, PollMode::Busy),
+        Mode::Fixed(ProtocolKind::Rfp, PollMode::Busy),
+    ];
+    for mode in modes {
+        for payload in [512usize, 65536] {
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), payload),
+                &payload,
+                |b, &payload| {
+                    b.iter(|| {
+                        let fabric = Fabric::new(SimConfig::default());
+                        run_latency(
+                            &fabric,
+                            &LatencyConfig { mode, payload, warmup: 1, iters: 4 },
+                        )
+                        .expect("run")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

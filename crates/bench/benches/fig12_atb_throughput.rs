@@ -1,0 +1,43 @@
+//! Figure 12 bench: ATB aggregated throughput — HatRPC vs baselines.
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use hat_atb::{run_throughput, Mode, ThroughputConfig};
+use hat_protocols::ProtocolKind;
+use hat_rdma_sim::{Fabric, PollMode, SimConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_atb_throughput");
+    for mode in [Mode::HatRpc, Mode::Fixed(ProtocolKind::Rfp, PollMode::Event)] {
+        for clients in [2usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), clients),
+                &clients,
+                |b, &clients| {
+                    b.iter(|| {
+                        let fabric = Fabric::new(SimConfig::default());
+                        run_throughput(
+                            &fabric,
+                            &ThroughputConfig {
+                                mode,
+                                payload: 512,
+                                clients,
+                                client_nodes: 2,
+                                iters: 6,
+                            },
+                        )
+                        .expect("run")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,38 @@
+//! Figure 13 bench: the mix benchmark with 512 B payloads.
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use hat_atb::{run_mix, MixConfig, Mode};
+use hat_protocols::ProtocolKind;
+use hat_rdma_sim::{Fabric, PollMode, SimConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_mix_small");
+    for mode in [Mode::HatRpc, Mode::Fixed(ProtocolKind::HybridEagerRndv, PollMode::Busy)] {
+        group.bench_with_input(BenchmarkId::new(mode.label(), 512), &mode, |b, &mode| {
+            b.iter(|| {
+                let fabric = Fabric::new(SimConfig::default());
+                run_mix(
+                    &fabric,
+                    &MixConfig {
+                        mode,
+                        payload: 512,
+                        clients: 2,
+                        client_nodes: 2,
+                        iters: 8,
+                        fast_ratio: 0.5,
+                    },
+                )
+                .expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

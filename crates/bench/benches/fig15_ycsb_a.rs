@@ -1,0 +1,30 @@
+//! Figure 15 bench: YCSB workload A' across the six KV systems.
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use hat_bench::{run_ycsb, KvSystem, YcsbConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_ycsb_a");
+    for system in KvSystem::ALL {
+        group.bench_with_input(BenchmarkId::new(system.label(), "A"), &system, |b, &system| {
+            b.iter(|| {
+                run_ycsb(&YcsbConfig {
+                    system,
+                    workload_b: false,
+                    clients: 2,
+                    records: 400,
+                    ops_per_client: 12,
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,37 @@
+//! Figure 17 bench: representative TPC-H queries per transport.
+
+mod common;
+
+use criterion::{BenchmarkId, Criterion};
+use hat_rdma_sim::{Fabric, SimConfig};
+use hat_tpch::{all_queries, ClusterConfig, TpchCluster, TransportMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_tpch");
+    let cfg = ClusterConfig { sf: 0.002, workers: 2, seed: 7 };
+    for mode in
+        [TransportMode::Ipoib, TransportMode::HatRpcService, TransportMode::HatRpcFunction]
+    {
+        let fabric = Fabric::new(SimConfig::default());
+        let mut cluster = TpchCluster::start(&fabric, &cfg, mode);
+        let queries = all_queries();
+        for qid in [1u8, 19] {
+            let q = queries.iter().find(|q| q.id == qid).expect("query exists");
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), format!("Q{qid}")),
+                &qid,
+                |b, _| {
+                    b.iter(|| cluster.run_query(q).expect("query"));
+                },
+            );
+        }
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

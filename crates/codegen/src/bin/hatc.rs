@@ -1,0 +1,91 @@
+//! `hatc` — the HatRPC IDL compiler.
+//!
+//! Usage: `hatc <input.thrift> [-o <output.rs>]`
+//!
+//! Parses a hinted Thrift IDL file and emits the generated Rust module to
+//! the output path (or stdout). Hint validation warnings go to stderr;
+//! parse errors exit nonzero with the source position.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                if i + 1 >= args.len() {
+                    eprintln!("hatc: -o requires a path");
+                    return ExitCode::FAILURE;
+                }
+                output = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "-h" | "--help" => {
+                println!("usage: hatc <input.thrift> [-o <output.rs>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                if input.replace(other.to_string()).is_some() {
+                    eprintln!("hatc: multiple input files given");
+                    return ExitCode::FAILURE;
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: hatc <input.thrift> [-o <output.rs>]");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hatc: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Surface hint validation warnings (the paper's filter pass).
+    if let Ok(doc) = hat_idl::parse(&src) {
+        for svc in &doc.services {
+            let mut warnings = Vec::new();
+            hat_idl::hints::resolve_with_warnings(
+                &svc.hints,
+                None,
+                hat_idl::hints::Side::Client,
+                &mut warnings,
+            );
+            for f in &svc.functions {
+                hat_idl::hints::resolve_with_warnings(
+                    &svc.hints,
+                    Some(&f.hints),
+                    hat_idl::hints::Side::Client,
+                    &mut warnings,
+                );
+            }
+            warnings.dedup();
+            for w in warnings {
+                eprintln!("hatc: warning: service {}: {w}", svc.name);
+            }
+        }
+    }
+    match hat_codegen::generate_file(&src) {
+        Ok(code) => {
+            if let Some(path) = output {
+                if let Err(e) = std::fs::write(&path, code) {
+                    eprintln!("hatc: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                print!("{code}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hatc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

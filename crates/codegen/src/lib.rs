@@ -1,0 +1,94 @@
+//! # hat-codegen — the HatRPC code generator
+//!
+//! The Rust analogue of the paper's modified Thrift compiler (§4.2,
+//! Figure 8): parse a hinted IDL file with [`hat_idl`], then emit Rust
+//! source containing, per service:
+//!
+//! * plain Rust structs/enums for the IDL types with binary-protocol
+//!   `read`/`write` methods,
+//! * a `…Handler` trait the application implements,
+//! * a `…Processor` that decodes requests, dispatches to the handler, and
+//!   frames replies (server skeleton),
+//! * a typed `…Client` stub over [`hatrpc_core::engine::HatClient`], and
+//! * a `…_schema()` function embedding the validated hint tables — the
+//!   "hierarchical map in the generated files" the runtime engine reads.
+//!
+//! Generated code is deterministic; consumers check it in (see
+//! `hat-hatkv`'s `generated.rs`) and a test regenerates and compares, so
+//! drift between generator and checked-in code fails CI.
+//!
+//! The `hatc` binary wraps [`generate_file`] as a command-line compiler.
+
+pub mod generator;
+
+pub use generator::{generate_file, GenError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IDL: &str = r#"
+        enum Status { OK = 0, MISS = 1 }
+        struct Pair { 1: binary key; 2: binary value; }
+        service Echo {
+            hint: perf_goal = latency, concurrency = 1;
+            binary ping(1: binary payload) [ hint: payload_size = 512; ]
+            i64 count(1: string bucket)
+            list<Pair> dump(1: i32 limit)
+            void reset()
+        }
+    "#;
+
+    #[test]
+    fn generates_all_artifacts() {
+        let code = generate_file(IDL).unwrap();
+        for expected in [
+            "pub struct Pair",
+            "pub enum Status",
+            "pub trait EchoHandler",
+            "pub struct EchoProcessor",
+            "pub struct EchoClient",
+            "pub fn echo_schema()",
+            "fn ping(&mut self, payload: Vec<u8>) -> Result<Vec<u8>>",
+            "fn count(&mut self, bucket: String) -> Result<i64>",
+            "fn dump(&mut self, limit: i32) -> Result<Vec<Pair>>",
+            "fn reset(&mut self) -> Result<()>",
+        ] {
+            assert!(code.contains(expected), "missing `{expected}` in:\n{code}");
+        }
+    }
+
+    #[test]
+    fn hint_tables_are_embedded() {
+        let code = generate_file(IDL).unwrap();
+        assert!(code.contains(r#"key: "perf_goal".to_string()"#));
+        assert!(code.contains(r#"value: "latency".to_string()"#));
+        assert!(code.contains(r#"key: "payload_size".to_string()"#));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate_file(IDL).unwrap(), generate_file(IDL).unwrap());
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(generate_file("service {").is_err());
+    }
+
+    #[test]
+    fn oneway_functions_generate() {
+        let code = generate_file("service S { oneway void fire(1: i32 x) }").unwrap();
+        assert!(code.contains("fn fire(&mut self, x: i32) -> Result<()>"));
+    }
+
+    #[test]
+    fn containers_and_maps_generate() {
+        let code = generate_file(
+            "service S { map<string, list<i64>> stats(1: set<i32> ids) }",
+        )
+        .unwrap();
+        assert!(code.contains("std::collections::BTreeMap<String, Vec<i64>>"));
+        assert!(code.contains("std::collections::BTreeSet<i32>"));
+    }
+}

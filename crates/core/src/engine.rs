@@ -1,0 +1,735 @@
+//! The hint-accelerated RDMA communication engine (paper §4.3).
+//!
+//! * [`HatClient`] resolves each function's hints once at construction
+//!   into cached per-function plans ("we minimize the overhead of the
+//!   dynamic hints by … caching the RPC function type"), selects an RDMA
+//!   protocol + polling mode per plan (Figure 6), and lazily opens one
+//!   connection per distinct plan — giving the paper's *optimization
+//!   isolation*: a latency-hinted function and a throughput-hinted one in
+//!   the same service ride different, independently tuned channels.
+//!   Functions hinted `transport = tcp` ride the IPoIB socket instead
+//!   (hybrid transports, §5.5); `numa_binding = true` pins the calling
+//!   thread to a NIC-local core for the duration of each call.
+//! * [`HatServer`] accepts connections, reads each connection's preamble
+//!   (protocol kind + buffer geometry + originating function scope),
+//!   resolves its *own* server-side hints for that scope (lateral hints:
+//!   the server may poll differently than the client), and serves with
+//!   the configured threading policy.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hat_idl::hints::{ResolvedHints, Side, TransportHint};
+use hat_protocols::{
+    accept_server, connect_client, ProtocolConfig, ProtocolKind, RpcClient,
+};
+use hat_rdma_sim::{numa, Fabric, Node, PollMode, RdmaError};
+
+use crate::error::{CoreError, Result};
+use crate::selection::{select_protocol, Selection, SubscriptionBounds};
+use crate::service::ServiceSchema;
+use crate::transport::{ClientTransport, ServerTransport, TServerSocket, TSocket};
+
+/// Encode a protocol kind for the connection preamble.
+fn kind_to_u8(k: ProtocolKind) -> u8 {
+    match k {
+        ProtocolKind::EagerSendRecv => 0,
+        ProtocolKind::DirectWriteSend => 1,
+        ProtocolKind::ChainedWriteSend => 2,
+        ProtocolKind::WriteRndv => 3,
+        ProtocolKind::ReadRndv => 4,
+        ProtocolKind::DirectWriteImm => 5,
+        ProtocolKind::Pilaf => 6,
+        ProtocolKind::Farm => 7,
+        ProtocolKind::Rfp => 8,
+        ProtocolKind::HybridEagerRndv => 9,
+        ProtocolKind::Herd => 10,
+    }
+}
+
+fn kind_from_u8(v: u8) -> Result<ProtocolKind> {
+    Ok(match v {
+        0 => ProtocolKind::EagerSendRecv,
+        1 => ProtocolKind::DirectWriteSend,
+        2 => ProtocolKind::ChainedWriteSend,
+        3 => ProtocolKind::WriteRndv,
+        4 => ProtocolKind::ReadRndv,
+        5 => ProtocolKind::DirectWriteImm,
+        6 => ProtocolKind::Pilaf,
+        7 => ProtocolKind::Farm,
+        8 => ProtocolKind::Rfp,
+        9 => ProtocolKind::HybridEagerRndv,
+        10 => ProtocolKind::Herd,
+        other => return Err(CoreError::Protocol(format!("bad protocol kind {other}"))),
+    })
+}
+
+/// What the dialing side tells the accepting side before protocol
+/// construction: chosen protocol, buffer geometry, and the function scope
+/// that motivated the connection (so the server can resolve its own hints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Preamble {
+    kind: ProtocolKind,
+    client_poll: PollMode,
+    max_msg: u64,
+    ring_slots: u32,
+    eager_threshold: u32,
+    fn_scope: String,
+}
+
+impl Preamble {
+    fn encode(&self) -> Vec<u8> {
+        let scope = &self.fn_scope.as_bytes()[..self.fn_scope.len().min(120)];
+        let mut out = Vec::with_capacity(20 + scope.len());
+        out.push(kind_to_u8(self.kind));
+        out.push(match self.client_poll {
+            PollMode::Busy => 0,
+            PollMode::Event => 1,
+        });
+        out.extend_from_slice(&self.max_msg.to_le_bytes());
+        out.extend_from_slice(&self.ring_slots.to_le_bytes());
+        out.extend_from_slice(&self.eager_threshold.to_le_bytes());
+        out.extend_from_slice(&(scope.len() as u16).to_le_bytes());
+        out.extend_from_slice(scope);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Preamble> {
+        if bytes.len() < 20 {
+            return Err(CoreError::Protocol("short preamble".into()));
+        }
+        let kind = kind_from_u8(bytes[0])?;
+        let client_poll = if bytes[1] == 0 { PollMode::Busy } else { PollMode::Event };
+        let max_msg = u64::from_le_bytes(bytes[2..10].try_into().expect("8B"));
+        let ring_slots = u32::from_le_bytes(bytes[10..14].try_into().expect("4B"));
+        let eager_threshold = u32::from_le_bytes(bytes[14..18].try_into().expect("4B"));
+        let slen = u16::from_le_bytes(bytes[18..20].try_into().expect("2B")) as usize;
+        if bytes.len() < 20 + slen {
+            return Err(CoreError::Protocol("truncated preamble scope".into()));
+        }
+        let fn_scope = String::from_utf8_lossy(&bytes[20..20 + slen]).into_owned();
+        Ok(Preamble { kind, client_poll, max_msg, ring_slots, eager_threshold, fn_scope })
+    }
+}
+
+/// Identity of a client-side channel; calls whose plans coincide share a
+/// connection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ChannelKey {
+    kind: ProtocolKind,
+    poll: PollMode,
+    max_msg: u64,
+    tcp: bool,
+}
+
+/// Precomputed per-function execution plan (the cached dynamic hint).
+#[derive(Debug, Clone)]
+struct FnPlan {
+    selection: Selection,
+    max_msg: u64,
+    numa_bind: bool,
+    key: ChannelKey,
+}
+
+/// Default eager ring depth for engine-created channels.
+const ENGINE_RING_SLOTS: usize = 16;
+/// The Hybrid-EagerRNDV threshold (paper §4.3: 4 KB).
+const ENGINE_EAGER_THRESHOLD: usize = 4096;
+/// Floor for channel buffer sizing.
+const MIN_CHANNEL_MSG: u64 = 4096;
+/// Channel size when a function carries NO payload hint on either side:
+/// without information the engine must provision conservatively — exactly
+/// the pinned-memory waste the payload hint exists to eliminate (visible
+/// in `registered_bytes` when comparing HatRPC-Service vs -Function).
+const UNHINTED_CHANNEL_MSG: u64 = 64 * 1024;
+/// Headroom for the Thrift message envelope around a hinted payload.
+const ENVELOPE_SLACK: u64 = 512;
+
+fn plan_for(
+    schema: &ServiceSchema,
+    func: &str,
+    bounds: &SubscriptionBounds,
+) -> FnPlan {
+    let client = schema.resolved(func, Side::Client);
+    let server = schema.resolved(func, Side::Server);
+    let selection = select_protocol(&client, bounds);
+    // The channel must hold the larger of the two directions' payloads
+    // plus serialization envelope overhead; rounding to a power of two
+    // lets compatible functions share channels. With no hint at all,
+    // provision conservatively (see [`UNHINTED_CHANNEL_MSG`]).
+    let payload = match (client.payload_size, server.payload_size) {
+        (None, None) => UNHINTED_CHANNEL_MSG,
+        (c, s) => c.unwrap_or(1024).max(s.unwrap_or(1024)).max(MIN_CHANNEL_MSG),
+    };
+    let max_msg = (payload + ENVELOPE_SLACK).next_power_of_two();
+    let transport = client.transport.unwrap_or(TransportHint::Rdma);
+    FnPlan {
+        selection,
+        max_msg,
+        numa_bind: client.numa_binding.unwrap_or(false),
+        key: ChannelKey {
+            kind: selection.protocol,
+            poll: selection.poll,
+            max_msg,
+            tcp: transport == TransportHint::Tcp,
+        },
+    }
+}
+
+/// The hint-aware RPC client. One instance per calling thread (plans are
+/// shared-nothing; channels are lazily opened).
+pub struct HatClient {
+    fabric: Fabric,
+    node: Arc<Node>,
+    service: String,
+    plans: HashMap<String, FnPlan>,
+    default_plan: FnPlan,
+    channels: HashMap<ChannelKey, Box<dyn ClientTransport>>,
+    bounds: SubscriptionBounds,
+    /// Core chosen when a plan requests NUMA binding.
+    bind_core: u32,
+}
+
+static NEXT_BIND_CORE: AtomicU64 = AtomicU64::new(0);
+
+impl HatClient {
+    /// Create a client for `service` on `node`. Connections open lazily on
+    /// first use per plan.
+    pub fn new(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        schema: &ServiceSchema,
+    ) -> HatClient {
+        Self::with_bounds(fabric, node, service, schema, SubscriptionBounds::default())
+    }
+
+    /// Like [`HatClient::new`] with explicit subscription bounds.
+    pub fn with_bounds(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        schema: &ServiceSchema,
+        bounds: SubscriptionBounds,
+    ) -> HatClient {
+        let plans = schema
+            .functions
+            .iter()
+            .map(|(name, _)| (name.clone(), plan_for(schema, name, &bounds)))
+            .collect();
+        let default_plan = plan_for(schema, "\u{0}default\u{0}", &bounds);
+        // Spread bound threads across the NIC-local socket's cores.
+        let cores_per_numa = node.topology().cores_per_numa();
+        let bind_core = (NEXT_BIND_CORE.fetch_add(1, Ordering::Relaxed) as u32) % cores_per_numa
+            + node.topology().nic_node * cores_per_numa;
+        HatClient {
+            fabric: fabric.clone(),
+            node: node.clone(),
+            service: service.to_string(),
+            plans,
+            default_plan,
+            channels: HashMap::new(),
+            bounds,
+            bind_core,
+        }
+    }
+
+    /// The subscription bounds in use.
+    pub fn bounds(&self) -> &SubscriptionBounds {
+        &self.bounds
+    }
+
+    /// The plan's protocol selection for `func` (introspection for tests
+    /// and the repro harness).
+    pub fn selection_for(&self, func: &str) -> Selection {
+        self.plans.get(func).unwrap_or(&self.default_plan).selection
+    }
+
+    /// Number of distinct channels currently open.
+    pub fn open_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Pre-open the channel for every declared function (connection
+    /// prewarming): the paper counts fast connection establishment among
+    /// the hint scheme's benefits, and latency-sensitive callers don't
+    /// want the first real RPC to pay QP setup + protocol handshake.
+    /// Returns the number of channels now open.
+    pub fn warm_all(&mut self) -> Result<usize> {
+        let funcs: Vec<String> = self.plans.keys().cloned().collect();
+        for func in funcs {
+            let plan = self.plans.get(&func).expect("listed key").clone();
+            if !self.channels.contains_key(&plan.key) {
+                let channel = self.open_channel(&plan, &func)?;
+                self.channels.insert(plan.key.clone(), channel);
+            }
+        }
+        Ok(self.channels.len())
+    }
+
+    /// Issue one RPC: route `request` through the channel selected by
+    /// `func`'s cached plan.
+    pub fn call(&mut self, func: &str, request: &[u8]) -> Result<Vec<u8>> {
+        let mut plan = self.plans.get(func).unwrap_or(&self.default_plan).clone();
+        // A request larger than the hinted buffer upgrades to a larger
+        // channel rather than failing: mis-hinted payloads cost extra
+        // connections and pinned memory, not correctness.
+        let required = (request.len() as u64 + ENVELOPE_SLACK)
+            .next_power_of_two()
+            .max(MIN_CHANNEL_MSG);
+        if required > plan.max_msg {
+            plan.max_msg = required;
+            plan.key.max_msg = required;
+        }
+        if !self.channels.contains_key(&plan.key) {
+            let channel = self.open_channel(&plan, func)?;
+            self.channels.insert(plan.key.clone(), channel);
+        }
+        let channel = self.channels.get_mut(&plan.key).expect("just inserted");
+        let _bind = plan.numa_bind.then(|| numa::bind_current_thread(self.bind_core));
+        channel.call(func, request)
+    }
+
+    fn open_channel(&self, plan: &FnPlan, func: &str) -> Result<Box<dyn ClientTransport>> {
+        if plan.key.tcp {
+            let socket = TSocket::dial(&self.fabric, &self.node, &tcp_service(&self.service))?;
+            return Ok(Box::new(socket));
+        }
+        let ep = self.fabric.dial(&self.node, &self.service)?;
+        let preamble = Preamble {
+            kind: plan.selection.protocol,
+            client_poll: plan.selection.poll,
+            max_msg: plan.max_msg,
+            ring_slots: ENGINE_RING_SLOTS as u32,
+            eager_threshold: ENGINE_EAGER_THRESHOLD as u32,
+            fn_scope: func.to_string(),
+        };
+        let ack = hat_protocols::exchange_blobs(&ep, &preamble.encode())?;
+        if ack != b"hatrpc-ok" {
+            return Err(CoreError::Protocol("bad preamble ack".into()));
+        }
+        let cfg = ProtocolConfig {
+            poll: plan.selection.poll,
+            max_msg: plan.max_msg as usize,
+            ring_slots: ENGINE_RING_SLOTS,
+            eager_threshold: ENGINE_EAGER_THRESHOLD,
+        };
+        let client = connect_client(plan.selection.protocol, ep, cfg)?;
+        Ok(Box::new(RdmaCall { inner: client }))
+    }
+}
+
+/// Adapter from a protocol client to [`ClientTransport`].
+struct RdmaCall {
+    inner: Box<dyn RpcClient>,
+}
+
+impl ClientTransport for RdmaCall {
+    fn call(&mut self, _fn_name: &str, request: &[u8]) -> Result<Vec<u8>> {
+        Ok(self.inner.call(request)?)
+    }
+
+    fn label(&self) -> &'static str {
+        "trdma-hinted"
+    }
+}
+
+/// Name of the companion IPoIB service (hybrid transports).
+fn tcp_service(service: &str) -> String {
+    format!("{service}/tcp")
+}
+
+/// Threading policy of a [`HatServer`] (the Thrift server menu of
+/// Figure 2, reduced to the three the evaluation exercises).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerPolicy {
+    /// Serve connections one at a time on the accept thread. Note that a
+    /// Simple server can only shut down once its current client
+    /// disconnects (the accept thread is busy serving it).
+    Simple,
+    /// One thread per connection (TThreadedServer).
+    Threaded,
+    /// Fixed pool of worker threads (TThreadPoolServer).
+    ThreadPool(usize),
+}
+
+/// Handle to a running hint-aware server.
+pub struct HatServer {
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    service: String,
+    fabric: Fabric,
+    /// Accepted RDMA endpoints — closed on shutdown so serving threads
+    /// observe the disconnect promptly instead of waiting out their poll
+    /// caps against still-alive clients.
+    conns: Arc<parking_lot::Mutex<Vec<hat_rdma_sim::Endpoint>>>,
+    /// Accepted IPoIB streams, closed on shutdown for the same reason.
+    tcp_conns: Arc<parking_lot::Mutex<Vec<std::sync::Arc<hat_rdma_sim::ipoib::IpoibStream>>>>,
+}
+
+impl std::fmt::Debug for HatServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HatServer").field("service", &self.service).finish()
+    }
+}
+
+/// Factory producing a fresh raw-message handler per connection.
+pub type HandlerFactory = Arc<dyn Fn() -> Box<dyn FnMut(&[u8]) -> Vec<u8> + Send> + Send + Sync>;
+
+impl HatServer {
+    /// Start serving `service` on `node` with the given policy. Each
+    /// accepted connection's preamble picks the protocol; server-side
+    /// hints (resolved against `schema` for the connection's function
+    /// scope) pick the server's polling mode and NUMA binding.
+    pub fn serve(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        schema: ServiceSchema,
+        policy: ServerPolicy,
+        handler_factory: HandlerFactory,
+    ) -> HatServer {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        let conns: Arc<parking_lot::Mutex<Vec<hat_rdma_sim::Endpoint>>> = Default::default();
+        let tcp_conns: Arc<
+            parking_lot::Mutex<Vec<std::sync::Arc<hat_rdma_sim::ipoib::IpoibStream>>>,
+        > = Default::default();
+
+        // RDMA accept loop.
+        {
+            let listener = fabric.listen(node, service, Default::default());
+            let shutdown = shutdown.clone();
+            let schema = schema.clone();
+            let factory = handler_factory.clone();
+            let conns = conns.clone();
+            let pool_tx = match policy {
+                ServerPolicy::ThreadPool(n) => {
+                    let (tx, rx) = crossbeam::channel::unbounded::<WorkItem>();
+                    for _ in 0..n.max(1) {
+                        let rx = rx.clone();
+                        let factory = factory.clone();
+                        threads.push(std::thread::spawn(move || {
+                            while let Ok(item) = rx.recv() {
+                                serve_connection(item, &factory);
+                            }
+                        }));
+                    }
+                    Some(tx)
+                }
+                _ => None,
+            };
+            threads.push(std::thread::spawn(move || {
+                let mut conn_threads = Vec::new();
+                while !shutdown.load(Ordering::Acquire) {
+                    let Ok(ep) = listener.accept_timeout(std::time::Duration::from_millis(50))
+                    else {
+                        continue;
+                    };
+                    let ep_handle = ep.clone();
+                    let item = match negotiate(ep, &schema) {
+                        Ok(item) => item,
+                        Err(e) => {
+                            eprintln!("hatrpc: connection negotiation failed: {e}");
+                            continue;
+                        }
+                    };
+                    conns.lock().push(ep_handle);
+                    match policy {
+                        ServerPolicy::Simple => serve_connection(item, &factory),
+                        ServerPolicy::Threaded => {
+                            let factory = factory.clone();
+                            conn_threads.push(std::thread::spawn(move || {
+                                serve_connection(item, &factory)
+                            }));
+                        }
+                        ServerPolicy::ThreadPool(_) => {
+                            let _ = pool_tx.as_ref().expect("pool created").send(item);
+                        }
+                    }
+                }
+                drop(pool_tx);
+                for t in conn_threads {
+                    let _ = t.join();
+                }
+            }));
+        }
+
+        // IPoIB accept loop (hybrid transports).
+        {
+            let listener = fabric.listen_ipoib(node, &tcp_service(service));
+            let shutdown = shutdown.clone();
+            let factory = handler_factory.clone();
+            let tcp_conns = tcp_conns.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut conn_threads = Vec::new();
+                while !shutdown.load(Ordering::Acquire) {
+                    let Ok(stream) =
+                        listener.accept_timeout(std::time::Duration::from_millis(50))
+                    else {
+                        continue;
+                    };
+                    let factory = factory.clone();
+                    let mut server = TServerSocket::from_stream(stream);
+                    tcp_conns.lock().push(server.stream_handle());
+                    conn_threads.push(std::thread::spawn(move || {
+                        let mut handler = factory();
+                        let _ = server.serve_loop(&mut handler);
+                    }));
+                }
+                for t in conn_threads {
+                    let _ = t.join();
+                }
+            }));
+        }
+
+        HatServer {
+            shutdown,
+            threads,
+            service: service.to_string(),
+            fabric: fabric.clone(),
+            conns,
+            tcp_conns,
+        }
+    }
+
+    /// Stop accepting, close every live connection, and wait for the
+    /// accept loops (and their serving threads) to wind down.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.fabric.unlisten(&self.service);
+        self.fabric.unlisten_ipoib(&tcp_service(&self.service));
+        for ep in self.conns.lock().drain(..) {
+            ep.close();
+        }
+        for stream in self.tcp_conns.lock().drain(..) {
+            stream.close();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A negotiated, ready-to-serve connection.
+struct WorkItem {
+    server: Box<dyn hat_protocols::RpcServer>,
+    numa_bind: bool,
+    bind_core: u32,
+}
+
+/// Read the preamble, resolve server-side hints, build the protocol server.
+fn negotiate(ep: hat_rdma_sim::Endpoint, schema: &ServiceSchema) -> Result<WorkItem> {
+    let blob = hat_protocols::exchange_blobs(&ep, b"hatrpc-ok")?;
+    let preamble = Preamble::decode(&blob)?;
+    let server_hints: ResolvedHints = schema.resolved(&preamble.fn_scope, Side::Server);
+    // Lateral freedom: the server's polling can differ from the client's.
+    let poll = match server_hints.polling {
+        Some(hat_idl::hints::PollingHint::Busy) => PollMode::Busy,
+        Some(hat_idl::hints::PollingHint::Event) => PollMode::Event,
+        _ => {
+            if server_hints.perf_goal.is_some() || server_hints.concurrency.is_some() {
+                select_protocol(&server_hints, &SubscriptionBounds::default()).poll
+            } else {
+                preamble.client_poll
+            }
+        }
+    };
+    let cfg = ProtocolConfig {
+        poll,
+        max_msg: preamble.max_msg as usize,
+        ring_slots: preamble.ring_slots as usize,
+        eager_threshold: preamble.eager_threshold as usize,
+    };
+    let bind_core = ep.node().topology().nic_node * ep.node().topology().cores_per_numa();
+    let server = accept_server(preamble.kind, ep, cfg)?;
+    Ok(WorkItem { server, numa_bind: server_hints.numa_binding.unwrap_or(false), bind_core })
+}
+
+fn serve_connection(mut item: WorkItem, factory: &HandlerFactory) {
+    let _bind = item.numa_bind.then(|| numa::bind_current_thread(item.bind_core));
+    let mut handler = factory();
+    let _ = item.server.serve_loop(&mut handler);
+}
+
+impl Drop for HatServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for ep in self.conns.lock().drain(..) {
+            ep.close();
+        }
+        for stream in self.tcp_conns.lock().drain(..) {
+            stream.close();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Convert connection-level RDMA errors we tolerate during shutdown.
+#[allow(dead_code)]
+fn is_disconnect(e: &CoreError) -> bool {
+    matches!(e, CoreError::Rdma(RdmaError::Disconnected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_rdma_sim::SimConfig;
+
+    const IDL: &str = r#"
+        service Mix {
+            hint: concurrency = 2;
+            binary fast(1: binary p) [ hint: perf_goal = latency, payload_size = 512; ]
+            binary bulk(1: binary p) [ hint: perf_goal = throughput, payload_size = 128K, concurrency = 64; ]
+            binary over_tcp(1: binary p) [ hint: transport = tcp; ]
+        }
+    "#;
+
+    fn echo_factory() -> HandlerFactory {
+        Arc::new(|| Box::new(|req: &[u8]| req.to_vec()))
+    }
+
+    fn setup(policy: ServerPolicy) -> (Fabric, Arc<Node>, HatServer, ServiceSchema) {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let schema = ServiceSchema::parse(IDL, "Mix").unwrap();
+        let server =
+            HatServer::serve(&fabric, &snode, "mix", schema.clone(), policy, echo_factory());
+        (fabric, snode, server, schema)
+    }
+
+    #[test]
+    fn preamble_roundtrip() {
+        let p = Preamble {
+            kind: ProtocolKind::Rfp,
+            client_poll: PollMode::Event,
+            max_msg: 131072,
+            ring_slots: 16,
+            eager_threshold: 4096,
+            fn_scope: "bulk".into(),
+        };
+        assert_eq!(Preamble::decode(&p.encode()).unwrap(), p);
+        assert!(Preamble::decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for k in ProtocolKind::ALL {
+            assert_eq!(kind_from_u8(kind_to_u8(k)).unwrap(), k);
+        }
+        assert!(kind_from_u8(99).is_err());
+    }
+
+    #[test]
+    fn hinted_calls_roundtrip_over_selected_protocols() {
+        let (fabric, _snode, server, schema) = setup(ServerPolicy::Threaded);
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "mix", &schema);
+
+        // fast → Direct-WriteIMM busy; bulk → RFP event (concurrency 64 > 16).
+        assert_eq!(client.selection_for("fast").protocol, ProtocolKind::DirectWriteImm);
+        assert_eq!(client.selection_for("bulk").protocol, ProtocolKind::Rfp);
+
+        let r1 = client.call("fast", b"ping").unwrap();
+        assert_eq!(r1, b"ping");
+        let big = vec![3u8; 100_000];
+        let r2 = client.call("bulk", &big).unwrap();
+        assert_eq!(r2, big);
+        // Two distinct plans → two isolated channels.
+        assert_eq!(client.open_channels(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn hybrid_transport_rides_tcp() {
+        let (fabric, _snode, server, schema) = setup(ServerPolicy::Threaded);
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "mix", &schema);
+        let resp = client.call("over_tcp", b"kernel path").unwrap();
+        assert_eq!(resp, b"kernel path");
+        server.shutdown();
+    }
+
+    #[test]
+    fn warm_all_preopens_every_plan_channel() {
+        let (fabric, _snode, server, schema) = setup(ServerPolicy::Threaded);
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "mix", &schema);
+        assert_eq!(client.open_channels(), 0);
+        let opened = client.warm_all().unwrap();
+        // fast / bulk / over_tcp have three distinct plans.
+        assert_eq!(opened, 3);
+        // Calls after warming reuse, not re-open.
+        client.call("fast", b"x").unwrap();
+        assert_eq!(client.open_channels(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn channel_reuse_across_calls() {
+        let (fabric, _snode, server, schema) = setup(ServerPolicy::Threaded);
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "mix", &schema);
+        for _ in 0..5 {
+            client.call("fast", b"x").unwrap();
+        }
+        assert_eq!(client.open_channels(), 1, "repeat calls reuse the cached channel");
+        server.shutdown();
+    }
+
+    #[test]
+    fn simple_policy_serves_sequentially() {
+        let (fabric, _snode, server, schema) = setup(ServerPolicy::Simple);
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "mix", &schema);
+        for i in 0..4u8 {
+            assert_eq!(client.call("fast", &[i; 32]).unwrap(), [i; 32]);
+        }
+        // Simple policy serves on the accept thread: the client must
+        // disconnect before shutdown can join it.
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn thread_pool_policy_serves_multiple_clients() {
+        let (fabric, _snode, server, schema) = setup(ServerPolicy::ThreadPool(2));
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let fabric = fabric.clone();
+            let schema = schema.clone();
+            handles.push(std::thread::spawn(move || {
+                let cnode = fabric.add_node(&format!("client{i}"));
+                let mut client = HatClient::new(&fabric, &cnode, "mix", &schema);
+                let resp = client.call("fast", &[i as u8; 16]).unwrap();
+                assert_eq!(resp, [i as u8; 16]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn unhinted_service_still_works() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let schema = ServiceSchema::unhinted("Plain");
+        let server = HatServer::serve(
+            &fabric,
+            &snode,
+            "plain",
+            schema.clone(),
+            ServerPolicy::Threaded,
+            echo_factory(),
+        );
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "plain", &schema);
+        assert_eq!(client.call("anything", b"ok").unwrap(), b"ok");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the HatRPC runtime.
+
+use hat_rdma_sim::RdmaError;
+use std::fmt;
+
+/// Errors surfaced by transports, protocols, and servers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying (simulated) RDMA/socket failure.
+    Rdma(RdmaError),
+    /// Serialization/deserialization failure.
+    Protocol(String),
+    /// The server raised a Thrift application exception.
+    Application(String),
+    /// Request named a method the service does not implement.
+    UnknownMethod(String),
+    /// Invalid engine/hint configuration.
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Rdma(e) => write!(f, "transport error: {e}"),
+            CoreError::Protocol(m) => write!(f, "protocol error: {m}"),
+            CoreError::Application(m) => write!(f, "application exception: {m}"),
+            CoreError::UnknownMethod(m) => write!(f, "unknown method '{m}'"),
+            CoreError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Rdma(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RdmaError> for CoreError {
+    fn from(e: RdmaError) -> Self {
+        CoreError::Rdma(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::Rdma(RdmaError::Timeout);
+        assert!(e.to_string().contains("timed out"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&CoreError::Protocol("x".into())).is_none());
+    }
+
+    #[test]
+    fn conversion_from_rdma() {
+        let e: CoreError = RdmaError::Disconnected.into();
+        assert_eq!(e, CoreError::Rdma(RdmaError::Disconnected));
+    }
+}

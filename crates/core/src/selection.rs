@@ -1,0 +1,212 @@
+//! The hint → RDMA design-space mapping (paper Figure 6 and §5.2/§5.3).
+//!
+//! Given a function's resolved hints, pick the protocol and polling
+//! mechanism. The mapping encodes the paper's measured conclusions:
+//!
+//! * `latency` → Direct-WriteIMM with busy polling at every payload size
+//!   (Figure 4 / Figure 11).
+//! * `throughput`, small payloads → Direct-WriteIMM; event polling scales
+//!   across subscription levels (Figure 5 left / Figure 12 left); busy
+//!   polling is kept while under-subscribed for its latency edge.
+//! * `throughput`, large payloads → Direct-WriteIMM with busy polling
+//!   while under-subscribed, switching to RFP with event polling past the
+//!   under-subscription bound (Figure 5 right / Figure 12 right).
+//! * `res_util` → pre-registered per-connection buffers are acceptable
+//!   only for small messages: Direct-WriteIMM (under-subscription) or
+//!   Eager-SendRecv (full/over) for small payloads; Write-RNDV for large
+//!   ones; event polling to spare CPU (§3.3, §4.3).
+
+use hat_idl::hints::{PerfGoal, PollingHint, ResolvedHints};
+use hat_protocols::ProtocolKind;
+use hat_rdma_sim::PollMode;
+
+/// Small/large payload boundary — the Hybrid-EagerRNDV threshold (4 KB).
+pub const SMALL_MSG_THRESHOLD: u64 = 4096;
+
+/// Subscription-level boundaries in client count, matching the paper's
+/// Figure 12 x-axis partitions on the 28-core testbed nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriptionBounds {
+    /// Highest client count still considered under-subscription.
+    pub under_max: u32,
+    /// Highest client count still considered full-subscription.
+    pub full_max: u32,
+}
+
+impl Default for SubscriptionBounds {
+    fn default() -> Self {
+        SubscriptionBounds { under_max: 16, full_max: 28 }
+    }
+}
+
+/// Subscription level derived from the concurrency hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subscription {
+    /// Fewer clients than NIC-local cores.
+    Under,
+    /// Clients roughly match cores.
+    Full,
+    /// More clients than cores.
+    Over,
+}
+
+impl SubscriptionBounds {
+    /// Classify a concurrency hint.
+    pub fn classify(&self, concurrency: u32) -> Subscription {
+        if concurrency <= self.under_max {
+            Subscription::Under
+        } else if concurrency <= self.full_max {
+            Subscription::Full
+        } else {
+            Subscription::Over
+        }
+    }
+}
+
+/// The engine's choice for one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Selection {
+    /// RDMA protocol to use.
+    pub protocol: ProtocolKind,
+    /// Completion/memory polling mechanism.
+    pub poll: PollMode,
+}
+
+/// Map resolved hints to a protocol + polling choice (Figure 6).
+///
+/// Defaults when hints are absent: `perf_goal = latency`,
+/// `concurrency = 1`, `payload_size = 1024`.
+pub fn select_protocol(hints: &ResolvedHints, bounds: &SubscriptionBounds) -> Selection {
+    let concurrency = hints.concurrency.unwrap_or(1);
+    let payload = hints.payload_size.unwrap_or(1024);
+    let goal = hints.perf_goal.unwrap_or(PerfGoal::Latency);
+    let small = payload <= SMALL_MSG_THRESHOLD;
+    let sub = bounds.classify(concurrency);
+
+    let mut sel = match goal {
+        PerfGoal::Latency => {
+            Selection { protocol: ProtocolKind::DirectWriteImm, poll: PollMode::Busy }
+        }
+        PerfGoal::Throughput => {
+            if small {
+                // Direct-WriteIMM wins at 512 B for every subscription
+                // level; event polling is what lets it scale (Fig. 5/12).
+                let poll =
+                    if sub == Subscription::Under { PollMode::Busy } else { PollMode::Event };
+                Selection { protocol: ProtocolKind::DirectWriteImm, poll }
+            } else {
+                match sub {
+                    Subscription::Under => {
+                        Selection { protocol: ProtocolKind::DirectWriteImm, poll: PollMode::Busy }
+                    }
+                    _ => Selection { protocol: ProtocolKind::Rfp, poll: PollMode::Event },
+                }
+            }
+        }
+        PerfGoal::ResUtil => {
+            let protocol = match (sub, small) {
+                (Subscription::Under, true) => ProtocolKind::DirectWriteImm,
+                (_, true) => ProtocolKind::EagerSendRecv,
+                (_, false) => ProtocolKind::WriteRndv,
+            };
+            Selection { protocol, poll: PollMode::Event }
+        }
+    };
+
+    // An explicit polling hint overrides the derived choice.
+    match hints.polling {
+        Some(PollingHint::Busy) => sel.poll = PollMode::Busy,
+        Some(PollingHint::Event) => sel.poll = PollMode::Event,
+        Some(PollingHint::Auto) | None => {}
+    }
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_idl::hints::HintSet;
+
+    fn hints(goal: PerfGoal, conc: u32, payload: u64) -> ResolvedHints {
+        HintSet {
+            perf_goal: Some(goal),
+            concurrency: Some(conc),
+            payload_size: Some(payload),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn latency_goal_always_uses_write_imm_busy() {
+        for payload in [4u64, 512, 4096, 128 * 1024, 512 * 1024] {
+            let s = select_protocol(&hints(PerfGoal::Latency, 1, payload), &Default::default());
+            assert_eq!(s.protocol, ProtocolKind::DirectWriteImm, "payload {payload}");
+            assert_eq!(s.poll, PollMode::Busy);
+        }
+    }
+
+    #[test]
+    fn throughput_small_payload_stays_on_write_imm() {
+        let b = SubscriptionBounds::default();
+        for conc in [1, 16, 28, 512] {
+            let s = select_protocol(&hints(PerfGoal::Throughput, conc, 512), &b);
+            assert_eq!(s.protocol, ProtocolKind::DirectWriteImm, "conc {conc}");
+        }
+        // Event polling past under-subscription.
+        assert_eq!(select_protocol(&hints(PerfGoal::Throughput, 64, 512), &b).poll, PollMode::Event);
+        assert_eq!(select_protocol(&hints(PerfGoal::Throughput, 8, 512), &b).poll, PollMode::Busy);
+    }
+
+    #[test]
+    fn throughput_large_payload_switches_to_rfp_past_16_clients() {
+        // The paper's §5.2: Direct-WriteIMM + busy below 16 clients,
+        // RFP + event above.
+        let b = SubscriptionBounds::default();
+        let under = select_protocol(&hints(PerfGoal::Throughput, 16, 128 * 1024), &b);
+        assert_eq!(under, Selection { protocol: ProtocolKind::DirectWriteImm, poll: PollMode::Busy });
+        let over = select_protocol(&hints(PerfGoal::Throughput, 17, 128 * 1024), &b);
+        assert_eq!(over, Selection { protocol: ProtocolKind::Rfp, poll: PollMode::Event });
+    }
+
+    #[test]
+    fn res_util_prefers_memory_lean_protocols() {
+        let b = SubscriptionBounds::default();
+        // Under-subscription, small: Direct-WriteIMM is fine (small pins).
+        let s1 = select_protocol(&hints(PerfGoal::ResUtil, 4, 512), &b);
+        assert_eq!(s1.protocol, ProtocolKind::DirectWriteImm);
+        // Over-subscription, small: Eager's shared ring.
+        let s2 = select_protocol(&hints(PerfGoal::ResUtil, 100, 512), &b);
+        assert_eq!(s2.protocol, ProtocolKind::EagerSendRecv);
+        // Large payloads: rendezvous regardless of subscription.
+        for conc in [4, 100] {
+            let s = select_protocol(&hints(PerfGoal::ResUtil, conc, 128 * 1024), &b);
+            assert_eq!(s.protocol, ProtocolKind::WriteRndv, "conc {conc}");
+            assert_eq!(s.poll, PollMode::Event);
+        }
+    }
+
+    #[test]
+    fn explicit_polling_hint_overrides() {
+        let mut h = hints(PerfGoal::Latency, 1, 64);
+        h.polling = Some(hat_idl::hints::PollingHint::Event);
+        assert_eq!(select_protocol(&h, &Default::default()).poll, PollMode::Event);
+        h.polling = Some(hat_idl::hints::PollingHint::Auto);
+        assert_eq!(select_protocol(&h, &Default::default()).poll, PollMode::Busy);
+    }
+
+    #[test]
+    fn defaults_are_latency_oriented() {
+        let s = select_protocol(&HintSet::default(), &Default::default());
+        assert_eq!(s, Selection { protocol: ProtocolKind::DirectWriteImm, poll: PollMode::Busy });
+    }
+
+    #[test]
+    fn subscription_classification() {
+        let b = SubscriptionBounds::default();
+        assert_eq!(b.classify(1), Subscription::Under);
+        assert_eq!(b.classify(16), Subscription::Under);
+        assert_eq!(b.classify(17), Subscription::Full);
+        assert_eq!(b.classify(28), Subscription::Full);
+        assert_eq!(b.classify(29), Subscription::Over);
+    }
+}

@@ -1,0 +1,262 @@
+//! Transport layer: the `TSocket`-compatible abstraction the paper's
+//! TRdma bridge keeps (§4.3).
+//!
+//! Thrift's transports are byte streams; HatRPC's insight is that keeping
+//! `TRdma`'s programming model identical to `TSocket`'s lets the code
+//! generator reuse the whole stack. We capture that shared model as a
+//! message-oriented pair of traits — [`ClientTransport`] (request →
+//! response) and [`ServerTransport`] (serve one request) — implemented by:
+//!
+//! * [`TSocket`]/[`TServerSocket`] — 4-byte-framed messages over the
+//!   simulated IPoIB TCP stream (the vanilla-Thrift baseline), and
+//! * the RDMA engine in [`crate::engine`], which routes each call through
+//!   the hint-selected RDMA protocol.
+
+use std::sync::Arc;
+
+use hat_rdma_sim::ipoib::IpoibStream;
+use hat_rdma_sim::{Fabric, Node, RdmaError};
+
+use crate::error::{CoreError, Result};
+
+/// Client side of a message transport: one request, one response.
+pub trait ClientTransport: Send {
+    /// Issue an RPC. `fn_name` carries the dynamic function hint to
+    /// hint-aware transports; plain transports ignore it.
+    fn call(&mut self, fn_name: &str, request: &[u8]) -> Result<Vec<u8>>;
+
+    /// Transport label for diagnostics.
+    fn label(&self) -> &'static str;
+}
+
+/// Server side of a message transport, bound to one accepted connection.
+pub trait ServerTransport: Send {
+    /// Serve exactly one request with `handler`; `Ok(false)` on disconnect.
+    fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool>;
+
+    /// Transport label for diagnostics.
+    fn label(&self) -> &'static str;
+
+    /// Serve until disconnect.
+    fn serve_loop(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<()> {
+        while self.serve_one(handler)? {}
+        Ok(())
+    }
+}
+
+/// Length-prefix framing over a byte stream (what `TFramedTransport`
+/// contributes in the Thrift stack).
+fn write_frame(stream: &IpoibStream, msg: &[u8]) -> Result<()> {
+    let mut frame = Vec::with_capacity(4 + msg.len());
+    frame.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    frame.extend_from_slice(msg);
+    stream.write_all(&frame)?;
+    Ok(())
+}
+
+fn read_frame(stream: &IpoibStream) -> Result<Option<Vec<u8>>> {
+    let mut hdr = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = stream.read(&mut hdr[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            return Err(CoreError::Rdma(RdmaError::Disconnected));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(hdr) as usize;
+    let mut msg = vec![0u8; len];
+    stream.read_exact(&mut msg)?;
+    Ok(Some(msg))
+}
+
+/// Client socket transport over simulated IPoIB (vanilla Thrift baseline).
+pub struct TSocket {
+    stream: IpoibStream,
+}
+
+impl TSocket {
+    /// Dial an IPoIB service registered with [`TServerSocket::listen`].
+    pub fn dial(fabric: &Fabric, client_node: &Arc<Node>, service: &str) -> Result<TSocket> {
+        Ok(TSocket { stream: fabric.dial_ipoib(client_node, service)? })
+    }
+
+    /// Wrap an already-connected stream.
+    pub fn from_stream(stream: IpoibStream) -> TSocket {
+        TSocket { stream }
+    }
+}
+
+impl ClientTransport for TSocket {
+    fn call(&mut self, _fn_name: &str, request: &[u8]) -> Result<Vec<u8>> {
+        write_frame(&self.stream, request)?;
+        read_frame(&self.stream)?.ok_or(CoreError::Rdma(RdmaError::Disconnected))
+    }
+
+    fn label(&self) -> &'static str {
+        "tsocket-ipoib"
+    }
+}
+
+/// One accepted server-side socket connection.
+pub struct TServerSocket {
+    stream: Arc<IpoibStream>,
+}
+
+impl TServerSocket {
+    /// Register an IPoIB listener; accept with
+    /// [`hat_rdma_sim::fabric::IpoibListener::accept`] and wrap each stream.
+    pub fn listen(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+    ) -> hat_rdma_sim::fabric::IpoibListener {
+        fabric.listen_ipoib(node, service)
+    }
+
+    /// Wrap an accepted stream.
+    pub fn from_stream(stream: IpoibStream) -> TServerSocket {
+        TServerSocket { stream: Arc::new(stream) }
+    }
+
+    /// A shared handle to the underlying stream (lets a server force-close
+    /// the connection from its shutdown path while a serve loop blocks in
+    /// `read`).
+    pub fn stream_handle(&self) -> Arc<IpoibStream> {
+        self.stream.clone()
+    }
+}
+
+impl ServerTransport for TServerSocket {
+    fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool> {
+        let Some(request) = read_frame(&self.stream)? else { return Ok(false) };
+        let response = handler(&request);
+        write_frame(&self.stream, &response)?;
+        Ok(true)
+    }
+
+    fn label(&self) -> &'static str {
+        "tserversocket-ipoib"
+    }
+}
+
+/// Adapter exposing a fixed-protocol RDMA channel (from [`hat_protocols`])
+/// as a [`ClientTransport`] — the non-hinted building block benchmarks use
+/// to compare raw protocols through the same runtime.
+pub struct TRdmaChannel {
+    inner: Box<dyn hat_protocols::RpcClient>,
+}
+
+impl TRdmaChannel {
+    /// Wrap a connected protocol client.
+    pub fn new(inner: Box<dyn hat_protocols::RpcClient>) -> TRdmaChannel {
+        TRdmaChannel { inner }
+    }
+}
+
+impl ClientTransport for TRdmaChannel {
+    fn call(&mut self, _fn_name: &str, request: &[u8]) -> Result<Vec<u8>> {
+        Ok(self.inner.call(request)?)
+    }
+
+    fn label(&self) -> &'static str {
+        "trdma-fixed"
+    }
+}
+
+/// Server-side counterpart of [`TRdmaChannel`].
+pub struct TRdmaServerChannel {
+    inner: Box<dyn hat_protocols::RpcServer>,
+}
+
+impl TRdmaServerChannel {
+    /// Wrap an accepted protocol server.
+    pub fn new(inner: Box<dyn hat_protocols::RpcServer>) -> TRdmaServerChannel {
+        TRdmaServerChannel { inner }
+    }
+}
+
+impl ServerTransport for TRdmaServerChannel {
+    fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool> {
+        Ok(self.inner.serve_one(handler)?)
+    }
+
+    fn label(&self) -> &'static str {
+        "trdma-server-fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_rdma_sim::SimConfig;
+
+    #[test]
+    fn tsocket_roundtrip() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let cnode = fabric.add_node("client");
+        let listener = TServerSocket::listen(&fabric, &snode, "echo");
+        let mut client = TSocket::dial(&fabric, &cnode, "echo").unwrap();
+        let h = std::thread::spawn(move || {
+            let mut server = TServerSocket::from_stream(listener.accept().unwrap());
+            server.serve_one(&mut |req| req.iter().rev().copied().collect()).unwrap();
+        });
+        let resp = client.call("any", b"abc").unwrap();
+        assert_eq!(resp, b"cba");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn tserversocket_reports_clean_eof() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let cnode = fabric.add_node("client");
+        let listener = TServerSocket::listen(&fabric, &snode, "svc");
+        let client = TSocket::dial(&fabric, &cnode, "svc").unwrap();
+        let mut server = TServerSocket::from_stream(listener.accept().unwrap());
+        drop(client);
+        assert!(!server.serve_one(&mut |r| r.to_vec()).unwrap());
+    }
+
+    #[test]
+    fn rdma_channel_adapters_roundtrip() {
+        use hat_protocols::{accept_server, connect_client, ProtocolConfig, ProtocolKind};
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let cnode = fabric.add_node("client");
+        let (cep, sep) = fabric.connect(&cnode, &snode).unwrap();
+        let cfg = ProtocolConfig { max_msg: 1024, ..Default::default() };
+        let scfg = cfg.clone();
+        let h = std::thread::spawn(move || {
+            let mut server = TRdmaServerChannel::new(
+                accept_server(ProtocolKind::DirectWriteImm, sep, scfg).unwrap(),
+            );
+            server.serve_one(&mut |r| r.to_vec()).unwrap();
+        });
+        let mut client =
+            TRdmaChannel::new(connect_client(ProtocolKind::DirectWriteImm, cep, cfg).unwrap());
+        assert_eq!(client.call("f", b"zz").unwrap(), b"zz");
+        assert_eq!(client.label(), "trdma-fixed");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn large_frames_cross_the_socket() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let cnode = fabric.add_node("client");
+        let listener = TServerSocket::listen(&fabric, &snode, "big");
+        let mut client = TSocket::dial(&fabric, &cnode, "big").unwrap();
+        let h = std::thread::spawn(move || {
+            let mut server = TServerSocket::from_stream(listener.accept().unwrap());
+            server.serve_one(&mut |req| req.to_vec()).unwrap();
+        });
+        let big = vec![7u8; 300_000];
+        assert_eq!(client.call("f", &big).unwrap(), big);
+        h.join().unwrap();
+    }
+}

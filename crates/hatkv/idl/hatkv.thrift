@@ -1,0 +1,13 @@
+// HatKV — the key-value store co-designed with HatRPC (paper §4.4,
+// Figure 10). Hints: the whole service targets throughput at 128 clients;
+// each RPC carries payload-size hints sized to the YCSB geometry (24 B
+// keys, 10 x 100 B fields, batch 10), and PUT-class functions use lateral
+// hints because the client ships ~1-10 KB while the server replies with a
+// tiny ack.
+service HatKV {
+    hint: concurrency = 128, perf_goal = throughput;
+    binary get(1: binary key) [ hint: payload_size = 2K; ]
+    void put(1: binary key, 2: binary value) [ c_hint: payload_size = 2K; s_hint: payload_size = 64; ]
+    list<binary> multiget(1: list<binary> keys) [ hint: payload_size = 16K; ]
+    void multiput(1: list<binary> keys, 2: list<binary> values) [ c_hint: payload_size = 16K; s_hint: payload_size = 64; ]
+}

@@ -1,0 +1,344 @@
+//! Emulated comparator systems for the §5.4 YCSB evaluation.
+//!
+//! The paper: "Since the four systems design their own backends and have
+//! different data layouts, it is hard to unify them. Therefore, we only
+//! study their communication protocols and emulate them … We make all six
+//! candidates share the same backend implementation to avoid unfair
+//! comparison." Accordingly each comparator here is the same HatKV
+//! processor and [`hat_kvdb`] backend behind a *fixed* RDMA protocol:
+//!
+//! | System | Emulated protocol |
+//! |---|---|
+//! | AR-gRPC | [`ProtocolKind::HybridEagerRndv`] (adaptive eager/Read-RNDV) |
+//! | HERD | [`ProtocolKind::Herd`] (WRITE requests, copied SEND responses) |
+//! | Pilaf | [`ProtocolKind::Pilaf`] (2 metadata READs + payload READ) |
+//! | RFP | [`ProtocolKind::Rfp`] (in-bound WRITE + READ-polled response) |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hat_kvdb::Database;
+use hat_protocols::{accept_server, connect_client, ProtocolConfig, ProtocolKind, RpcClient};
+use hat_rdma_sim::{Fabric, Node};
+use hatrpc_core::dispatch::{decode_reply, encode_call};
+use hatrpc_core::error::Result;
+use hatrpc_core::protocol::{TInputProtocol, TOutputProtocol, TType};
+
+use crate::generated::HatKVProcessor;
+use crate::handler::KvStoreHandler;
+
+/// The four comparator systems of Figures 15/16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Comparator {
+    /// AR-gRPC: adaptive eager / Read-RNDV.
+    ArGrpc,
+    /// HERD: direct-write requests, SEND responses.
+    Herd,
+    /// Pilaf: READ-heavy GET path.
+    Pilaf,
+    /// RFP: remote-fetch paradigm.
+    Rfp,
+}
+
+impl Comparator {
+    /// All comparators in the paper's reporting order.
+    pub const ALL: [Comparator; 4] =
+        [Comparator::ArGrpc, Comparator::Herd, Comparator::Pilaf, Comparator::Rfp];
+
+    /// The fixed protocol this system is emulated with.
+    pub fn protocol(&self) -> ProtocolKind {
+        match self {
+            Comparator::ArGrpc => ProtocolKind::HybridEagerRndv,
+            Comparator::Herd => ProtocolKind::Herd,
+            Comparator::Pilaf => ProtocolKind::Pilaf,
+            Comparator::Rfp => ProtocolKind::Rfp,
+        }
+    }
+
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Comparator::ArGrpc => "AR-gRPC",
+            Comparator::Herd => "HERD",
+            Comparator::Pilaf => "Pilaf",
+            Comparator::Rfp => "RFP",
+        }
+    }
+}
+
+/// A fixed-protocol KV server sharing the HatKV backend.
+pub struct ComparatorServer {
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    service: String,
+    fabric: Fabric,
+}
+
+impl ComparatorServer {
+    /// Serve `service` on `node` with the comparator's fixed protocol.
+    /// Every connection gets a thread (like the HatRPC threaded policy).
+    pub fn start(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        kind: ProtocolKind,
+        cfg: ProtocolConfig,
+        db: Database,
+    ) -> ComparatorServer {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let listener = fabric.listen(node, service, Default::default());
+        let accept_shutdown = shutdown.clone();
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_threads = Vec::new();
+            while !accept_shutdown.load(Ordering::Acquire) {
+                let Ok(ep) = listener.accept_timeout(std::time::Duration::from_millis(50)) else {
+                    continue;
+                };
+                let cfg = cfg.clone();
+                let db = db.clone();
+                conn_threads.push(std::thread::spawn(move || {
+                    let Ok(mut server) = accept_server(kind, ep, cfg) else { return };
+                    let mut processor = HatKVProcessor::new(KvStoreHandler::new(db));
+                    let _ = server.serve_loop(&mut |req| processor.handle(req));
+                }));
+            }
+            for t in conn_threads {
+                let _ = t.join();
+            }
+        });
+        ComparatorServer {
+            shutdown,
+            accept_thread: Some(accept_thread),
+            service: service.to_string(),
+            fabric: fabric.clone(),
+        }
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.fabric.unlisten(&self.service);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ComparatorServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A typed KV client over any fixed protocol, speaking the same Thrift
+/// wire format as the generated [`crate::HatKVClient`] — so comparator
+/// clients and HatRPC clients hit identical server-side processors.
+pub struct RawKvClient {
+    inner: Box<dyn RpcClient>,
+    seq: i32,
+}
+
+impl RawKvClient {
+    /// Dial `service` and speak `kind` with the given configuration.
+    pub fn connect(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        kind: ProtocolKind,
+        cfg: ProtocolConfig,
+    ) -> Result<RawKvClient> {
+        let ep = fabric.dial(node, service)?;
+        Ok(RawKvClient { inner: connect_client(kind, ep, cfg)?, seq: 0 })
+    }
+
+    fn next_seq(&mut self) -> i32 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// `get` RPC.
+    pub fn get(&mut self, key: &[u8]) -> Result<Vec<u8>> {
+        let seq = self.next_seq();
+        let req = encode_call("get", seq, |out| {
+            out.write_struct_begin("get_args");
+            out.write_field_begin(TType::String, 1);
+            out.write_binary(key);
+            out.write_field_end();
+            out.write_field_stop();
+            out.write_struct_end();
+        });
+        let reply = self.inner.call(&req)?;
+        decode_reply(&reply, seq, |input| {
+            input.read_struct_begin()?;
+            let mut ret = Vec::new();
+            loop {
+                let (fty, fid) = input.read_field_begin()?;
+                if fty == TType::Stop {
+                    break;
+                }
+                if fid == 0 {
+                    ret = input.read_binary()?;
+                } else {
+                    input.skip(fty)?;
+                }
+            }
+            Ok(ret)
+        })
+    }
+
+    /// `put` RPC.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let seq = self.next_seq();
+        let req = encode_call("put", seq, |out| {
+            out.write_struct_begin("put_args");
+            out.write_field_begin(TType::String, 1);
+            out.write_binary(key);
+            out.write_field_end();
+            out.write_field_begin(TType::String, 2);
+            out.write_binary(value);
+            out.write_field_end();
+            out.write_field_stop();
+            out.write_struct_end();
+        });
+        let reply = self.inner.call(&req)?;
+        decode_reply(&reply, seq, |input| {
+            input.read_struct_begin()?;
+            loop {
+                let (fty, _) = input.read_field_begin()?;
+                if fty == TType::Stop {
+                    break;
+                }
+                input.skip(fty)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// `multiget` RPC.
+    pub fn multiget(&mut self, keys: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        let seq = self.next_seq();
+        let req = encode_call("multiget", seq, |out| {
+            out.write_struct_begin("multiget_args");
+            out.write_field_begin(TType::List, 1);
+            out.write_list_begin(TType::String, keys.len());
+            for k in keys {
+                out.write_binary(k);
+            }
+            out.write_list_end();
+            out.write_field_end();
+            out.write_field_stop();
+            out.write_struct_end();
+        });
+        let reply = self.inner.call(&req)?;
+        decode_reply(&reply, seq, |input| {
+            input.read_struct_begin()?;
+            let mut ret = Vec::new();
+            loop {
+                let (fty, fid) = input.read_field_begin()?;
+                if fty == TType::Stop {
+                    break;
+                }
+                if fid == 0 {
+                    let (_ety, n) = input.read_list_begin()?;
+                    for _ in 0..n {
+                        ret.push(input.read_binary()?);
+                    }
+                    input.read_list_end()?;
+                } else {
+                    input.skip(fty)?;
+                }
+            }
+            Ok(ret)
+        })
+    }
+
+    /// `multiput` RPC.
+    pub fn multiput(&mut self, keys: &[Vec<u8>], values: &[Vec<u8>]) -> Result<()> {
+        let seq = self.next_seq();
+        let req = encode_call("multiput", seq, |out| {
+            out.write_struct_begin("multiput_args");
+            out.write_field_begin(TType::List, 1);
+            out.write_list_begin(TType::String, keys.len());
+            for k in keys {
+                out.write_binary(k);
+            }
+            out.write_list_end();
+            out.write_field_end();
+            out.write_field_begin(TType::List, 2);
+            out.write_list_begin(TType::String, values.len());
+            for v in values {
+                out.write_binary(v);
+            }
+            out.write_list_end();
+            out.write_field_end();
+            out.write_field_stop();
+            out.write_struct_end();
+        });
+        let reply = self.inner.call(&req)?;
+        decode_reply(&reply, seq, |input| {
+            input.read_struct_begin()?;
+            loop {
+                let (fty, _) = input.read_field_begin()?;
+                if fty == TType::Stop {
+                    break;
+                }
+                input.skip(fty)?;
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_kvdb::{DbConfig, SyncMode};
+    use hat_rdma_sim::SimConfig;
+
+    fn db() -> Database {
+        Database::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() })
+    }
+
+    #[test]
+    fn comparator_protocol_mapping() {
+        assert_eq!(Comparator::ArGrpc.protocol(), ProtocolKind::HybridEagerRndv);
+        assert_eq!(Comparator::Herd.protocol(), ProtocolKind::Herd);
+        assert_eq!(Comparator::Pilaf.protocol(), ProtocolKind::Pilaf);
+        assert_eq!(Comparator::Rfp.protocol(), ProtocolKind::Rfp);
+        let labels: Vec<_> = Comparator::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["AR-gRPC", "HERD", "Pilaf", "RFP"]);
+    }
+
+    #[test]
+    fn every_comparator_serves_the_full_kv_api() {
+        for comparator in Comparator::ALL {
+            let fabric = Fabric::new(SimConfig::fast_test());
+            let snode = fabric.add_node("server");
+            let cnode = fabric.add_node("client");
+            let cfg = ProtocolConfig { max_msg: 32 * 1024, ..Default::default() };
+            let server = ComparatorServer::start(
+                &fabric,
+                &snode,
+                "kv",
+                comparator.protocol(),
+                cfg.clone(),
+                db(),
+            );
+            let mut client =
+                RawKvClient::connect(&fabric, &cnode, "kv", comparator.protocol(), cfg).unwrap();
+
+            client.put(b"key", &vec![9u8; 1000]).unwrap();
+            assert_eq!(client.get(b"key").unwrap(), vec![9u8; 1000], "{comparator:?}");
+
+            let keys: Vec<Vec<u8>> = (0..10u8).map(|i| vec![b'k', i]).collect();
+            let values: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 1000]).collect();
+            client.multiput(&keys, &values).unwrap();
+            assert_eq!(client.multiget(&keys).unwrap(), values, "{comparator:?}");
+            drop(client);
+            server.shutdown();
+        }
+    }
+}

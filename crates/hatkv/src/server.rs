@@ -1,0 +1,160 @@
+//! HatKV server deployments: the two HatRPC variants of §5.4.
+
+use std::sync::Arc;
+
+use hat_rdma_sim::{Fabric, Node};
+use hatrpc_core::engine::{HatServer, ServerPolicy};
+use hatrpc_core::service::ServiceSchema;
+use hat_kvdb::Database;
+
+use crate::generated::{hat_k_v_schema, HatKVProcessor};
+use crate::handler::KvStoreHandler;
+
+/// Which hint configuration a HatKV deployment uses (paper §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvVariant {
+    /// HatRPC-Service: service-level hints only.
+    ServiceHints,
+    /// HatRPC-Function: the full hierarchical hint set.
+    FunctionHints,
+}
+
+/// The generated schema with function-level hint blocks stripped —
+/// HatRPC-Service keeps the service-wide tone but loses per-function
+/// tuning.
+pub fn service_only_schema() -> ServiceSchema {
+    let mut schema = hat_k_v_schema();
+    for (_, hints) in &mut schema.functions {
+        *hints = Default::default();
+    }
+    schema
+}
+
+/// A running HatKV server.
+pub struct HatKvServer {
+    server: HatServer,
+    db: Database,
+    schema: ServiceSchema,
+}
+
+impl HatKvServer {
+    /// Start serving on `node` under `service`, with the hint variant
+    /// selecting the schema. Backend knobs are hint-tuned at startup.
+    pub fn start(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        variant: KvVariant,
+        db: Database,
+    ) -> HatKvServer {
+        let schema = match variant {
+            KvVariant::ServiceHints => service_only_schema(),
+            KvVariant::FunctionHints => hat_k_v_schema(),
+        };
+        Self::start_with_schema(fabric, node, service, schema, db)
+    }
+
+    /// Like [`HatKvServer::start`] with an explicit (possibly retuned)
+    /// schema — benchmarks adjust the service-level concurrency hint to
+    /// the actual deployment size.
+    pub fn start_with_schema(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        schema: ServiceSchema,
+        db: Database,
+    ) -> HatKvServer {
+        let handler = KvStoreHandler::new(db.clone());
+        handler.apply_hints(&schema);
+        let factory_handler = handler.clone();
+        let server = HatServer::serve(
+            fabric,
+            node,
+            service,
+            schema.clone(),
+            ServerPolicy::Threaded,
+            Arc::new(move || {
+                let mut processor = HatKVProcessor::new(factory_handler.clone());
+                Box::new(move |req: &[u8]| processor.handle(req))
+            }),
+        );
+        HatKvServer { server, db, schema }
+    }
+
+    /// The deployment's schema (what clients should connect with).
+    pub fn schema(&self) -> &ServiceSchema {
+        &self.schema
+    }
+
+    /// The shared database handle (for preloading in benchmarks).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Stop the server.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generated::HatKVClient;
+    use hat_kvdb::{DbConfig, SyncMode};
+    use hat_rdma_sim::SimConfig;
+    use hatrpc_core::engine::HatClient;
+
+    fn db() -> Database {
+        Database::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() })
+    }
+
+    #[test]
+    fn end_to_end_kv_rpc_with_function_hints() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::FunctionHints, db());
+
+        let cnode = fabric.add_node("client");
+        let mut client = HatKVClient::connect(&fabric, &cnode, "hatkv");
+        client.put(b"alpha".to_vec(), vec![7u8; 1000]).unwrap();
+        assert_eq!(client.get(b"alpha".to_vec()).unwrap(), vec![7u8; 1000]);
+        assert_eq!(client.get(b"missing".to_vec()).unwrap(), Vec::<u8>::new());
+
+        let keys: Vec<Vec<u8>> = (0..10u8).map(|i| vec![b'k', i]).collect();
+        let values: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 1000]).collect();
+        client.multiput(keys.clone(), values.clone()).unwrap();
+        assert_eq!(client.multiget(keys).unwrap(), values);
+        server.shutdown();
+    }
+
+    #[test]
+    fn end_to_end_with_service_hints_only() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::ServiceHints, db());
+        let schema = server.schema().clone();
+        assert!(schema.functions.iter().all(|(_, h)| h.is_empty()), "function hints stripped");
+
+        let cnode = fabric.add_node("client");
+        let mut client = HatKVClient::new(HatClient::new(&fabric, &cnode, "hatkv", &schema));
+        client.put(b"x".to_vec(), b"y".to_vec()).unwrap();
+        assert_eq!(client.get(b"x".to_vec()).unwrap(), b"y");
+        server.shutdown();
+    }
+
+    #[test]
+    fn function_variant_isolates_channels_per_hint_plan() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::FunctionHints, db());
+        let cnode = fabric.add_node("client");
+        let mut client = HatKVClient::connect(&fabric, &cnode, "hatkv");
+        client.get(b"a".to_vec()).unwrap();
+        client.multiget(vec![b"a".to_vec()]).unwrap();
+        // get (2K) and multiget (16K) have different payload hints →
+        // distinct channels (optimization isolation).
+        assert!(client.engine().open_channels() >= 2);
+        server.shutdown();
+    }
+}

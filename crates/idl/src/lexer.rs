@@ -1,0 +1,338 @@
+//! Tokenizer for the hinted Thrift IDL (the role flex plays in the paper).
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column of the token start.
+    pub col: u32,
+}
+
+/// Token kinds. Keywords are recognized by the parser from `Ident` except
+/// for the hint keywords, which the scanner distinguishes (mirroring the
+/// paper's modified flex rules that tokenize `hint`/`s_hint`/`c_hint`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or non-hint keyword.
+    Ident(String),
+    /// Integer literal (decimal or hex).
+    IntLit(i64),
+    /// Floating-point literal.
+    DoubleLit(f64),
+    /// Quoted string literal (quotes stripped).
+    StrLit(String),
+    /// `hint` — shared hint group introducer.
+    KwHint,
+    /// `s_hint` — server-side hint group introducer.
+    KwServerHint,
+    /// `c_hint` — client-side hint group introducer.
+    KwClientHint,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LAngle,
+    RAngle,
+    Comma,
+    Semicolon,
+    Colon,
+    Equals,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::IntLit(v) => write!(f, "integer {v}"),
+            TokenKind::DoubleLit(v) => write!(f, "double {v}"),
+            TokenKind::StrLit(s) => write!(f, "string \"{s}\""),
+            TokenKind::KwHint => write!(f, "'hint'"),
+            TokenKind::KwServerHint => write!(f, "'s_hint'"),
+            TokenKind::KwClientHint => write!(f, "'c_hint'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::LAngle => write!(f, "'<'"),
+            TokenKind::RAngle => write!(f, "'>'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Semicolon => write!(f, "';'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Equals => write!(f, "'='"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A scanning error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` into a vector ending with [`TokenKind::Eof`].
+///
+/// Supports Thrift's three comment styles (`//`, `#`, `/* */`), decimal and
+/// hex integers, doubles, and single/double-quoted strings.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(LexError { message: format!($($arg)*), line, col })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32, n: usize| {
+            for _ in 0..n {
+                if *i < bytes.len() && bytes[*i] == b'\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+                *i += 1;
+            }
+        };
+
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                advance(&mut i, &mut line, &mut col, 2);
+                loop {
+                    if i + 1 >= bytes.len() {
+                        err!("unterminated block comment");
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance(&mut i, &mut line, &mut col, 2);
+                        break;
+                    }
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '"' | '\'' => {
+                let quote = bytes[i];
+                advance(&mut i, &mut line, &mut col, 1);
+                let start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+                if i >= bytes.len() {
+                    err!("unterminated string literal");
+                }
+                let s = std::str::from_utf8(&bytes[start..i])
+                    .map_err(|_| LexError {
+                        message: "invalid UTF-8 in string".into(),
+                        line,
+                        col,
+                    })?
+                    .to_string();
+                advance(&mut i, &mut line, &mut col, 1);
+                tokens.push(Token { kind: TokenKind::StrLit(s), line: tline, col: tcol });
+            }
+            '{' | '}' | '(' | ')' | '[' | ']' | '<' | '>' | ',' | ';' | ':' | '=' => {
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    '<' => TokenKind::LAngle,
+                    '>' => TokenKind::RAngle,
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semicolon,
+                    ':' => TokenKind::Colon,
+                    _ => TokenKind::Equals,
+                };
+                advance(&mut i, &mut line, &mut col, 1);
+                tokens.push(Token { kind, line: tline, col: tcol });
+            }
+            c if c.is_ascii_digit()
+                || ((c == '-' || c == '+') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                let start = i;
+                advance(&mut i, &mut line, &mut col, 1);
+                let mut is_double = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        advance(&mut i, &mut line, &mut col, 1);
+                    } else if d == '.' && !is_double {
+                        is_double = true;
+                        advance(&mut i, &mut line, &mut col, 1);
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                if is_double || text.contains(['e', 'E']) && !text.starts_with("0x") {
+                    match text.parse::<f64>() {
+                        Ok(v) => tokens
+                            .push(Token { kind: TokenKind::DoubleLit(v), line: tline, col: tcol }),
+                        Err(_) => err!("malformed numeric literal '{text}'"),
+                    }
+                } else if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+                    match i64::from_str_radix(hex, 16) {
+                        Ok(v) => tokens
+                            .push(Token { kind: TokenKind::IntLit(v), line: tline, col: tcol }),
+                        Err(_) => err!("malformed hex literal '{text}'"),
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => tokens
+                            .push(Token { kind: TokenKind::IntLit(v), line: tline, col: tcol }),
+                        // Unit-suffixed values like `1K` / `10M` appear as
+                        // hint values (payload_size); surface them as
+                        // identifier-like tokens for the hint parser.
+                        Err(_) if text.chars().all(|c| c.is_ascii_alphanumeric()) => tokens
+                            .push(Token {
+                                kind: TokenKind::Ident(text.to_string()),
+                                line: tline,
+                                col: tcol,
+                            }),
+                        Err(_) => err!("malformed integer literal '{text}'"),
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        advance(&mut i, &mut line, &mut col, 1);
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "hint" => TokenKind::KwHint,
+                    "s_hint" => TokenKind::KwServerHint,
+                    "c_hint" => TokenKind::KwClientHint,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, line: tline, col: tcol });
+            }
+            other => err!("unexpected character '{other}'"),
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn scans_hint_keywords_distinctly() {
+        let k = kinds("hint s_hint c_hint hinted");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::KwHint,
+                TokenKind::KwServerHint,
+                TokenKind::KwClientHint,
+                TokenKind::Ident("hinted".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn scans_punctuation_and_literals() {
+        let k = kinds(r#"{ } ( ) [ ] < > , ; : = 42 -7 0x1F 3.25 "str" 'alt'"#);
+        assert!(k.contains(&TokenKind::IntLit(42)));
+        assert!(k.contains(&TokenKind::IntLit(-7)));
+        assert!(k.contains(&TokenKind::IntLit(31)));
+        assert!(k.contains(&TokenKind::DoubleLit(3.25)));
+        assert!(k.contains(&TokenKind::StrLit("str".into())));
+        assert!(k.contains(&TokenKind::StrLit("alt".into())));
+    }
+
+    #[test]
+    fn skips_all_three_comment_styles() {
+        let k = kinds("a // line\n b # hash\n c /* block\n multi */ d");
+        let idents: Vec<_> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = tokenize("a\nbb\n  ccc").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 1));
+        assert_eq!((toks[2].line, toks[2].col), (3, 3));
+    }
+
+    #[test]
+    fn dotted_identifiers_for_namespaces() {
+        let k = kinds("shared.Thing");
+        assert_eq!(k[0], TokenKind::Ident("shared.Thing".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"oops").is_err());
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_eof_only() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # hat-idl — Thrift IDL with the HatRPC hierarchical hint extension
+//!
+//! A from-scratch lexer and recursive-descent parser for the subset of the
+//! Apache Thrift interface-definition language that Thrift services use,
+//! extended with the hint grammar of the paper's Figure 7:
+//!
+//! ```text
+//! Service      ::= 'service' Identifier ('extends' Identifier)?
+//!                  '{' HintGroup* Function* '}'
+//! Function     ::= 'oneway'? FunctionType Identifier '(' Field* ')'
+//!                  Throws? ListSeparator? FunctionHint?
+//! FunctionHint ::= '[' HintGroup* ']'
+//! HintGroup    ::= 'hint'   ':' HintList ';'
+//!                | 'c_hint' ':' HintList ';'
+//!                | 's_hint' ':' HintList ';'
+//! HintList     ::= Hint ',' HintList | Hint
+//! Hint         ::= key '=' value
+//! ```
+//!
+//! Hints are **hierarchical** (service-level hints set the tone; function-
+//! level hints override per key) and **lateral** (`s_hint`/`c_hint` apply
+//! to the server/client side only, overriding the shared `hint` group).
+//! [`hints::resolve`] implements exactly that merge order, and
+//! [`hints::HintSet::from_block`] performs the paper's check/merge pass:
+//! unknown keys and malformed values are filtered out and reported as
+//! warnings, never fatal.
+//!
+//! The paper builds this on flex + Bison inside the Thrift compiler; the
+//! grammar and semantics are what matter, so we hand-write the parser
+//! (documented as a substitution in `DESIGN.md`).
+//!
+//! ```
+//! let doc = hat_idl::parse(r#"
+//!     service Echo {
+//!         hint: perf_goal = latency, concurrency = 1;
+//!         s_hint: polling = busy;
+//!         binary ping(1: binary payload) [ hint: payload_size = 512; ]
+//!     }
+//! "#).unwrap();
+//! let svc = &doc.services[0];
+//! assert_eq!(svc.name, "Echo");
+//! let f = &svc.functions[0];
+//! let resolved = hat_idl::hints::resolve(&svc.hints, Some(&f.hints), hat_idl::hints::Side::Server);
+//! assert_eq!(resolved.perf_goal, Some(hat_idl::hints::PerfGoal::Latency));
+//! assert_eq!(resolved.payload_size, Some(512));
+//! ```
+
+pub mod ast;
+pub mod hints;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Document, Field, Function, Service, Type};
+pub use hints::{HintBlock, HintSet, PerfGoal, ResolvedHints, Side};
+pub use parser::{parse, ParseError};

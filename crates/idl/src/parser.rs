@@ -1,0 +1,528 @@
+//! Recursive-descent parser for the hinted Thrift IDL (the role Bison
+//! plays in the paper's Figure 8 pipeline).
+
+use crate::ast::*;
+use crate::hints::{Hint, HintBlock};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line, col: e.col }
+    }
+}
+
+/// Parse a complete IDL document.
+pub fn parse(src: &str) -> Result<Document, ParseError> {
+    let tokens = tokenize(src)?;
+    Parser { tokens, pos: 0 }.document()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError { message: message.into(), line: t.line, col: t.col })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.next())
+        } else {
+            self.error(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => match self.next().kind {
+                TokenKind::Ident(s) => Ok(s),
+                _ => unreachable!("peeked an ident"),
+            },
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// Accept `,` or `;` (Thrift list separators are interchangeable and
+    /// optional).
+    fn eat_list_sep(&mut self) {
+        let _ = self.eat(&TokenKind::Comma) || self.eat(&TokenKind::Semicolon);
+    }
+
+    fn document(&mut self) -> Result<Document, ParseError> {
+        let mut doc = Document::default();
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::Ident(word) => match word.as_str() {
+                    "namespace" => {
+                        self.next();
+                        let scope = self.ident()?;
+                        let name = self.ident()?;
+                        doc.namespaces.push((scope, name));
+                    }
+                    "include" => {
+                        self.next();
+                        match self.next().kind {
+                            TokenKind::StrLit(s) => doc.includes.push(s),
+                            other => {
+                                return self
+                                    .error(format!("expected include path string, found {other}"))
+                            }
+                        }
+                    }
+                    "typedef" => {
+                        self.next();
+                        let ty = self.parse_type()?;
+                        let name = self.ident()?;
+                        self.eat_list_sep();
+                        doc.typedefs.push(Typedef { ty, name });
+                    }
+                    "enum" => doc.enums.push(self.parse_enum()?),
+                    "struct" => doc.structs.push(self.parse_struct()?),
+                    "exception" => doc.exceptions.push(self.parse_struct()?),
+                    "const" => doc.consts.push(self.parse_const()?),
+                    "service" => doc.services.push(self.parse_service()?),
+                    other => return self.error(format!("unexpected top-level keyword '{other}'")),
+                },
+                other => return self.error(format!("unexpected token {other}")),
+            }
+        }
+        Ok(doc)
+    }
+
+    fn parse_enum(&mut self) -> Result<Enum, ParseError> {
+        self.next(); // 'enum'
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut variants = Vec::new();
+        let mut next_value = 0i32;
+        while !self.eat(&TokenKind::RBrace) {
+            let vname = self.ident()?;
+            let value = if self.eat(&TokenKind::Equals) {
+                match self.next().kind {
+                    TokenKind::IntLit(v) => v as i32,
+                    other => return self.error(format!("expected enum value, found {other}")),
+                }
+            } else {
+                next_value
+            };
+            next_value = value + 1;
+            variants.push((vname, value));
+            self.eat_list_sep();
+        }
+        Ok(Enum { name, variants })
+    }
+
+    fn parse_struct(&mut self) -> Result<Struct, ParseError> {
+        self.next(); // 'struct' | 'exception'
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            fields.push(self.parse_field()?);
+            self.eat_list_sep();
+        }
+        Ok(Struct { name, fields })
+    }
+
+    fn parse_const(&mut self) -> Result<Const, ParseError> {
+        self.next(); // 'const'
+        let ty = self.parse_type()?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::Equals)?;
+        let value = match self.next().kind {
+            TokenKind::IntLit(v) => ConstValue::Int(v),
+            TokenKind::DoubleLit(v) => ConstValue::Double(v),
+            TokenKind::StrLit(s) => ConstValue::Str(s),
+            TokenKind::Ident(s) => ConstValue::Ident(s),
+            other => return self.error(format!("expected const value, found {other}")),
+        };
+        self.eat_list_sep();
+        Ok(Const { ty, name, value })
+    }
+
+    fn parse_field(&mut self) -> Result<Field, ParseError> {
+        let id = if let TokenKind::IntLit(v) = self.peek().kind {
+            self.next();
+            self.expect(&TokenKind::Colon)?;
+            Some(v as i16)
+        } else {
+            None
+        };
+        let req = match &self.peek().kind {
+            TokenKind::Ident(w) if w == "required" => {
+                self.next();
+                Requiredness::Required
+            }
+            TokenKind::Ident(w) if w == "optional" => {
+                self.next();
+                Requiredness::Optional
+            }
+            _ => Requiredness::Default,
+        };
+        let ty = self.parse_type()?;
+        let name = self.ident()?;
+        // Optional default value: '= literal' (recorded but unused).
+        if self.eat(&TokenKind::Equals) {
+            self.next();
+        }
+        Ok(Field { id, req, ty, name })
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "bool" => Type::Bool,
+            "byte" => Type::Byte,
+            "i8" => Type::I8,
+            "i16" => Type::I16,
+            "i32" => Type::I32,
+            "i64" => Type::I64,
+            "double" => Type::Double,
+            "string" => Type::String,
+            "binary" => Type::Binary,
+            "void" => Type::Void,
+            "list" => {
+                self.expect(&TokenKind::LAngle)?;
+                let inner = self.parse_type()?;
+                self.expect(&TokenKind::RAngle)?;
+                Type::List(Box::new(inner))
+            }
+            "set" => {
+                self.expect(&TokenKind::LAngle)?;
+                let inner = self.parse_type()?;
+                self.expect(&TokenKind::RAngle)?;
+                Type::Set(Box::new(inner))
+            }
+            "map" => {
+                self.expect(&TokenKind::LAngle)?;
+                let k = self.parse_type()?;
+                self.expect(&TokenKind::Comma)?;
+                let v = self.parse_type()?;
+                self.expect(&TokenKind::RAngle)?;
+                Type::Map(Box::new(k), Box::new(v))
+            }
+            _ => Type::Named(name),
+        })
+    }
+
+    // ---- the Figure 7 hint grammar ------------------------------------
+
+    /// `HintGroup ::= ('hint'|'s_hint'|'c_hint') ':' HintList ';'`
+    ///
+    /// Returns `None` when the next token does not start a hint group.
+    fn parse_hint_group(&mut self, block: &mut HintBlock) -> Result<bool, ParseError> {
+        let target = match self.peek().kind {
+            TokenKind::KwHint => 0,
+            TokenKind::KwServerHint => 1,
+            TokenKind::KwClientHint => 2,
+            _ => return Ok(false),
+        };
+        self.next();
+        self.expect(&TokenKind::Colon)?;
+        let list = match target {
+            0 => &mut block.shared,
+            1 => &mut block.server,
+            _ => &mut block.client,
+        };
+        loop {
+            let key = self.ident()?;
+            self.expect(&TokenKind::Equals)?;
+            let value = match self.next().kind {
+                TokenKind::Ident(s) => s,
+                TokenKind::StrLit(s) => s,
+                TokenKind::IntLit(v) => v.to_string(),
+                TokenKind::DoubleLit(v) => v.to_string(),
+                other => return self.error(format!("expected hint value, found {other}")),
+            };
+            list.push(Hint { key, value });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(true)
+    }
+
+    /// `HintGroup*` — zero or more groups into one block.
+    fn parse_hint_block(&mut self, block: &mut HintBlock) -> Result<(), ParseError> {
+        while self.parse_hint_group(block)? {}
+        Ok(())
+    }
+
+    fn parse_service(&mut self) -> Result<Service, ParseError> {
+        self.next(); // 'service'
+        let name = self.ident()?;
+        let extends = if matches!(&self.peek().kind, TokenKind::Ident(w) if w == "extends") {
+            self.next();
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::LBrace)?;
+
+        // Service-level hints come before the functions (Figure 7).
+        let mut hints = HintBlock::default();
+        self.parse_hint_block(&mut hints)?;
+
+        let mut functions = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            functions.push(self.parse_function()?);
+        }
+        Ok(Service { name, extends, hints, functions })
+    }
+
+    fn parse_function(&mut self) -> Result<Function, ParseError> {
+        let oneway = if matches!(&self.peek().kind, TokenKind::Ident(w) if w == "oneway") {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let ret = self.parse_type()?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        while !self.eat(&TokenKind::RParen) {
+            args.push(self.parse_field()?);
+            self.eat_list_sep();
+        }
+        let mut throws = Vec::new();
+        if matches!(&self.peek().kind, TokenKind::Ident(w) if w == "throws") {
+            self.next();
+            self.expect(&TokenKind::LParen)?;
+            while !self.eat(&TokenKind::RParen) {
+                throws.push(self.parse_field()?);
+                self.eat_list_sep();
+            }
+        }
+        self.eat_list_sep();
+        // FunctionHint ::= '[' HintGroup* ']'
+        let mut hints = HintBlock::default();
+        if self.eat(&TokenKind::LBracket) {
+            self.parse_hint_block(&mut hints)?;
+            self.expect(&TokenKind::RBracket)?;
+        }
+        self.eat_list_sep();
+        Ok(Function { oneway, ret, name, args, throws, hints })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hints::{resolve, PerfGoal, PollingHint, Side};
+
+    #[test]
+    fn parses_minimal_service() {
+        let doc = parse("service Empty {}").unwrap();
+        assert_eq!(doc.services.len(), 1);
+        assert_eq!(doc.services[0].name, "Empty");
+        assert!(doc.services[0].hints.is_empty());
+    }
+
+    #[test]
+    fn parses_service_level_hints() {
+        let doc = parse(
+            r#"service Echo {
+                hint: perf_goal = latency, concurrency = 1;
+                s_hint: polling = busy;
+                c_hint: polling = event;
+                void ping()
+            }"#,
+        )
+        .unwrap();
+        let svc = &doc.services[0];
+        assert_eq!(svc.hints.shared.len(), 2);
+        assert_eq!(svc.hints.server.len(), 1);
+        assert_eq!(svc.hints.client.len(), 1);
+        let server = resolve(&svc.hints, None, Side::Server);
+        assert_eq!(server.polling, Some(PollingHint::Busy));
+        let client = resolve(&svc.hints, None, Side::Client);
+        assert_eq!(client.polling, Some(PollingHint::Event));
+    }
+
+    #[test]
+    fn parses_function_level_hints_after_arg_list() {
+        let doc = parse(
+            r#"service KV {
+                hint: perf_goal = throughput;
+                binary get(1: binary key) [ hint: payload_size = 1024, perf_goal = latency; ]
+                void put(1: binary key, 2: binary value)
+            }"#,
+        )
+        .unwrap();
+        let svc = &doc.services[0];
+        let get = svc.function("get").unwrap();
+        let r = resolve(&svc.hints, Some(&get.hints), Side::Client);
+        assert_eq!(r.perf_goal, Some(PerfGoal::Latency), "function override");
+        assert_eq!(r.payload_size, Some(1024));
+        let put = svc.function("put").unwrap();
+        let rp = resolve(&svc.hints, Some(&put.hints), Side::Client);
+        assert_eq!(rp.perf_goal, Some(PerfGoal::Throughput), "service default");
+    }
+
+    #[test]
+    fn parses_the_paper_figure_10_shape() {
+        // The HatKV YCSB IDL from the paper's Figure 10, reconstructed.
+        let doc = parse(
+            r#"
+            namespace rs hatkv
+            service HatKV {
+                hint: concurrency = 128, perf_goal = throughput;
+                binary get(1: binary key) [ hint: payload_size = 1K; ]
+                void put(1: binary key, 2: binary value) [ c_hint: payload_size = 1K; s_hint: payload_size = 16; ]
+                list<binary> multiget(1: list<binary> keys) [ hint: payload_size = 10K; ]
+                void multiput(1: list<binary> keys, 2: list<binary> values) [ c_hint: payload_size = 10K; s_hint: payload_size = 16; ]
+            }"#,
+        )
+        .unwrap();
+        let svc = &doc.services[0];
+        assert_eq!(svc.functions.len(), 4);
+        let put = svc.function("put").unwrap();
+        let client = resolve(&svc.hints, Some(&put.hints), Side::Client);
+        let server = resolve(&svc.hints, Some(&put.hints), Side::Server);
+        assert_eq!(client.payload_size, Some(1024), "client sends ~1KB PUTs");
+        assert_eq!(server.payload_size, Some(16), "server replies tiny acks");
+        assert_eq!(client.concurrency, Some(128));
+    }
+
+    #[test]
+    fn parses_structs_enums_typedefs_consts() {
+        let doc = parse(
+            r#"
+            typedef i64 Timestamp
+            const i32 MAX_BATCH = 10
+            enum Status { OK = 0, MISS = 1, ERROR }
+            struct Pair { 1: required binary key; 2: optional binary value; }
+            exception KvError { 1: string message }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.typedefs[0].name, "Timestamp");
+        assert_eq!(doc.consts[0].value, ConstValue::Int(10));
+        assert_eq!(doc.enums[0].variants, vec![("OK".into(), 0), ("MISS".into(), 1), ("ERROR".into(), 2)]);
+        assert_eq!(doc.structs[0].fields.len(), 2);
+        assert_eq!(doc.structs[0].fields[0].req, Requiredness::Required);
+        assert_eq!(doc.exceptions[0].name, "KvError");
+    }
+
+    #[test]
+    fn parses_container_types() {
+        let doc = parse(
+            "struct C { 1: list<i32> a; 2: map<string, list<i64>> b; 3: set<binary> c; }",
+        )
+        .unwrap();
+        let f = &doc.structs[0].fields;
+        assert_eq!(f[0].ty, Type::List(Box::new(Type::I32)));
+        assert_eq!(
+            f[1].ty,
+            Type::Map(Box::new(Type::String), Box::new(Type::List(Box::new(Type::I64))))
+        );
+        assert_eq!(f[2].ty, Type::Set(Box::new(Type::Binary)));
+    }
+
+    #[test]
+    fn parses_oneway_throws_and_extends() {
+        let doc = parse(
+            r#"
+            exception Err { 1: string why }
+            service Base { void noop() }
+            service Derived extends Base {
+                oneway void fire(1: i32 x)
+                i32 risky() throws (1: Err e)
+            }"#,
+        )
+        .unwrap();
+        let d = doc.service("Derived").unwrap();
+        assert_eq!(d.extends.as_deref(), Some("Base"));
+        assert!(d.function("fire").unwrap().oneway);
+        assert_eq!(d.function("risky").unwrap().throws.len(), 1);
+    }
+
+    #[test]
+    fn plain_thrift_without_hints_still_parses() {
+        // Backward compatibility: HatRPC accepts vanilla Thrift IDL.
+        let doc = parse(
+            r#"service Calculator {
+                i32 add(1: i32 a, 2: i32 b),
+                i32 sub(1: i32 a, 2: i32 b);
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(doc.services[0].functions.len(), 2);
+        assert!(doc.services[0].functions.iter().all(|f| f.hints.is_empty()));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("service {").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("identifier"));
+        let err2 = parse("service S {\n  hint perf_goal = latency;\n}").unwrap_err();
+        assert_eq!(err2.line, 2, "missing colon after 'hint' is caught on its line");
+    }
+
+    #[test]
+    fn hint_requires_semicolon_terminator() {
+        assert!(parse("service S { hint: a = b }").is_err());
+        assert!(parse("service S { hint: perf_goal = latency; }").is_ok());
+    }
+
+    #[test]
+    fn multiple_hint_groups_accumulate() {
+        let doc = parse(
+            r#"service S {
+                hint: perf_goal = latency;
+                hint: concurrency = 4;
+                void f()
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(doc.services[0].hints.shared.len(), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Ordered range scans over a tree snapshot (LMDB cursors).
+
+use crate::tree::Node;
+
+/// An iterator over `[start, end)` of a snapshot, in key order.
+///
+/// Holds an explicit descent stack instead of recursion so it can be a
+/// plain [`Iterator`].
+pub struct Cursor<'a> {
+    /// Stack of (branch node, next child index).
+    stack: Vec<(&'a Node, usize)>,
+    /// Current leaf and position.
+    leaf: Option<(&'a Node, usize)>,
+    end: Vec<u8>,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(root: &'a Node, range: std::ops::Range<Vec<u8>>) -> Cursor<'a> {
+        let mut cursor = Cursor { stack: Vec::new(), leaf: None, end: range.end };
+        cursor.descend_to(root, &range.start);
+        cursor
+    }
+
+    /// Descend to the first entry >= `start`.
+    fn descend_to(&mut self, mut node: &'a Node, start: &[u8]) {
+        loop {
+            match node {
+                Node::Leaf { keys, .. } => {
+                    let i = match keys.binary_search_by(|k| k.as_ref().cmp(start)) {
+                        Ok(i) | Err(i) => i,
+                    };
+                    if i < keys.len() {
+                        self.leaf = Some((node, i));
+                    } else {
+                        // Start past this leaf: advance via the stack.
+                        self.leaf = Some((node, i));
+                        self.advance_leaf();
+                    }
+                    return;
+                }
+                Node::Branch { keys, children, .. } => {
+                    let i = match keys.binary_search_by(|k| k.as_ref().cmp(start)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    self.stack.push((node, i + 1));
+                    node = &children[i];
+                }
+            }
+        }
+    }
+
+    /// Move to the first entry of the next leaf (or exhaust).
+    fn advance_leaf(&mut self) {
+        self.leaf = None;
+        while let Some((branch, next_idx)) = self.stack.pop() {
+            let Node::Branch { children, .. } = branch else { unreachable!("stack holds branches") };
+            if next_idx < children.len() {
+                self.stack.push((branch, next_idx + 1));
+                // Descend to the leftmost leaf of this child.
+                let mut node = children[next_idx].as_ref();
+                loop {
+                    match node {
+                        Node::Leaf { .. } => {
+                            self.leaf = Some((node, 0));
+                            return;
+                        }
+                        Node::Branch { children, .. } => {
+                            self.stack.push((node, 1));
+                            node = &children[0];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (leaf, i) = self.leaf?;
+            let Node::Leaf { keys, vals, .. } = leaf else { unreachable!("leaf slot holds leaves") };
+            if i >= keys.len() {
+                self.advance_leaf();
+                continue;
+            }
+            if keys[i].as_ref() >= self.end.as_slice() {
+                self.leaf = None;
+                return None;
+            }
+            self.leaf = Some((leaf, i + 1));
+            return Some((keys[i].to_vec(), vals[i].to_vec()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Database, DbConfig, SyncMode};
+
+    fn seeded(n: u32) -> Database {
+        let db = Database::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() });
+        let mut txn = db.begin_write().unwrap();
+        for i in 0..n {
+            txn.put(format!("k{i:05}").as_bytes(), &i.to_le_bytes());
+        }
+        txn.commit();
+        db
+    }
+
+    #[test]
+    fn full_scan_is_ordered_and_complete() {
+        let db = seeded(3000);
+        let read = db.begin_read().unwrap();
+        let all: Vec<_> = read.range(vec![]..vec![0xff]).collect();
+        assert_eq!(all.len(), 3000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "ordered");
+        assert_eq!(all[0].0, b"k00000");
+        assert_eq!(all[2999].0, b"k02999");
+    }
+
+    #[test]
+    fn bounded_range() {
+        let db = seeded(100);
+        let read = db.begin_read().unwrap();
+        let got: Vec<_> =
+            read.range(b"k00010".to_vec()..b"k00020".to_vec()).map(|(k, _)| k).collect();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0], b"k00010");
+        assert_eq!(got[9], b"k00019");
+    }
+
+    #[test]
+    fn range_start_between_keys() {
+        let db = seeded(50);
+        let read = db.begin_read().unwrap();
+        // "k000095" sorts between k00009 and k00010.
+        let got: Vec<_> =
+            read.range(b"k000095".to_vec()..b"k00012".to_vec()).map(|(k, _)| k).collect();
+        assert_eq!(got, vec![b"k00010".to_vec(), b"k00011".to_vec()]);
+    }
+
+    #[test]
+    fn empty_range_and_empty_db() {
+        let db = seeded(10);
+        let read = db.begin_read().unwrap();
+        assert_eq!(read.range(b"z".to_vec()..b"zz".to_vec()).count(), 0);
+        assert_eq!(read.range(b"k5".to_vec()..b"k4".to_vec()).count(), 0);
+        let empty = Database::new(DbConfig::default());
+        let r = empty.begin_read().unwrap();
+        assert_eq!(r.range(vec![]..vec![0xff]).count(), 0);
+    }
+
+    #[test]
+    fn scan_sees_snapshot_not_later_writes() {
+        let db = seeded(10);
+        let read = db.begin_read().unwrap();
+        db.put(b"k99999", b"late");
+        assert_eq!(read.range(vec![]..vec![0xff]).count(), 10);
+    }
+}

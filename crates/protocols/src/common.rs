@@ -1,0 +1,490 @@
+//! Shared protocol machinery: the client/server traits, configuration,
+//! control-message rings, and the out-of-band handshake.
+
+use hat_rdma_sim::{
+    Endpoint, MemoryRegion, PollMode, RdmaError, RecvWr, Result, SendWr,
+};
+
+/// Identifies one of the implemented RDMA protocols (paper Figure 3 plus
+/// the Hybrid-EagerRNDV engine default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Figure 3a: copy into pre-posted ring + SEND.
+    EagerSendRecv,
+    /// Figure 3b: WRITE to pre-known buffer + separate SEND notify.
+    DirectWriteSend,
+    /// Figure 3c: WRITE and SEND chained under a single doorbell.
+    ChainedWriteSend,
+    /// Figure 3d: WRITE-based rendezvous.
+    WriteRndv,
+    /// Figure 3e: READ-based rendezvous.
+    ReadRndv,
+    /// Figure 3f: single WRITE_WITH_IMM each way.
+    DirectWriteImm,
+    /// Figure 3g: Pilaf-style — 2 metadata READs + 1 payload READ.
+    Pilaf,
+    /// Figure 3h: FaRM-style — 1 metadata READ + 1 payload READ.
+    Farm,
+    /// Figure 3i: RFP — in-bound WRITE request, READ-polled response.
+    Rfp,
+    /// §4.3: eager below a threshold, Read-RNDV above.
+    HybridEagerRndv,
+    /// §5.4 comparator: HERD — WRITE-delivered requests, SEND-delivered
+    /// (copied) responses.
+    Herd,
+}
+
+impl ProtocolKind {
+    /// All implemented protocols, in the paper's Figure 3 order (plus
+    /// the HERD emulation used by the §5.4 comparison).
+    pub const ALL: [ProtocolKind; 11] = [
+        ProtocolKind::EagerSendRecv,
+        ProtocolKind::DirectWriteSend,
+        ProtocolKind::ChainedWriteSend,
+        ProtocolKind::WriteRndv,
+        ProtocolKind::ReadRndv,
+        ProtocolKind::DirectWriteImm,
+        ProtocolKind::Pilaf,
+        ProtocolKind::Farm,
+        ProtocolKind::Rfp,
+        ProtocolKind::HybridEagerRndv,
+        ProtocolKind::Herd,
+    ];
+
+    /// Short display name matching the paper's figure labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::EagerSendRecv => "Eager-SendRecv",
+            ProtocolKind::DirectWriteSend => "Direct-Write-Send",
+            ProtocolKind::ChainedWriteSend => "Chained-Write-Send",
+            ProtocolKind::WriteRndv => "Write-RNDV",
+            ProtocolKind::ReadRndv => "Read-RNDV",
+            ProtocolKind::DirectWriteImm => "Direct-WriteIMM",
+            ProtocolKind::Pilaf => "Pilaf",
+            ProtocolKind::Farm => "FaRM",
+            ProtocolKind::Rfp => "RFP",
+            ProtocolKind::HybridEagerRndv => "Hybrid-EagerRNDV",
+            ProtocolKind::Herd => "HERD",
+        }
+    }
+
+    /// Whether this protocol requires a per-connection pre-known,
+    /// pre-registered message buffer on the remote side (the memory
+    /// footprint drawback the paper discusses in §4.3).
+    pub fn needs_preknown_buffer(&self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::DirectWriteSend
+                | ProtocolKind::ChainedWriteSend
+                | ProtocolKind::DirectWriteImm
+                | ProtocolKind::Pilaf
+                | ProtocolKind::Farm
+                | ProtocolKind::Rfp
+                | ProtocolKind::Herd
+        )
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-side protocol configuration. The *buffer geometry* fields
+/// (`max_msg`, `ring_slots`, `eager_threshold`) must match on both sides —
+/// HatRPC's engine derives them from the payload-size hint during the
+/// connection handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// Completion/memory polling mechanism for this side.
+    pub poll: PollMode,
+    /// Largest message this connection must carry (sizes the pre-known
+    /// buffers and eager slots).
+    pub max_msg: usize,
+    /// Number of slots in eager receive rings.
+    pub ring_slots: usize,
+    /// Eager-vs-rendezvous switch point for [`ProtocolKind::HybridEagerRndv`].
+    /// The paper fixes this at 4 KB.
+    pub eager_threshold: usize,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig { poll: PollMode::Busy, max_msg: 256 * 1024, ring_slots: 16, eager_threshold: 4096 }
+    }
+}
+
+impl ProtocolConfig {
+    /// A config sized for small control/data messages.
+    pub fn small() -> Self {
+        ProtocolConfig { max_msg: 8 * 1024, ..Default::default() }
+    }
+
+    /// Builder-style poll-mode override.
+    pub fn with_poll(mut self, poll: PollMode) -> Self {
+        self.poll = poll;
+        self
+    }
+
+    /// Builder-style max message size override.
+    pub fn with_max_msg(mut self, max_msg: usize) -> Self {
+        self.max_msg = max_msg;
+        self
+    }
+}
+
+/// Client side of an RPC protocol: synchronous request/response.
+pub trait RpcClient: Send {
+    /// Issue one RPC: send `request`, block for the response.
+    fn call(&mut self, request: &[u8]) -> Result<Vec<u8>>;
+
+    /// Which protocol this client speaks.
+    fn kind(&self) -> ProtocolKind;
+}
+
+/// Server side of an RPC protocol, serving one connection.
+pub trait RpcServer: Send {
+    /// Serve exactly one request with `handler`. Returns `Ok(false)` when
+    /// the peer disconnected, `Ok(true)` after a served request.
+    fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool>;
+
+    /// Which protocol this server speaks.
+    fn kind(&self) -> ProtocolKind;
+
+    /// Serve until the peer disconnects.
+    fn serve_loop(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<()> {
+        while self.serve_one(handler)? {}
+        Ok(())
+    }
+}
+
+/// Construct the client side of `kind` over a connected endpoint,
+/// performing the protocol's buffer handshake with the (concurrently
+/// constructed) server side.
+pub fn connect_client(
+    kind: ProtocolKind,
+    ep: Endpoint,
+    cfg: ProtocolConfig,
+) -> Result<Box<dyn RpcClient>> {
+    Ok(match kind {
+        ProtocolKind::EagerSendRecv => Box::new(crate::eager::EagerSendRecv::client(ep, cfg)?),
+        ProtocolKind::DirectWriteSend => {
+            Box::new(crate::direct_write::DirectWriteSend::client(ep, cfg)?)
+        }
+        ProtocolKind::ChainedWriteSend => {
+            Box::new(crate::direct_write::ChainedWriteSend::client(ep, cfg)?)
+        }
+        ProtocolKind::WriteRndv => Box::new(crate::rndv::WriteRndv::client(ep, cfg)?),
+        ProtocolKind::ReadRndv => Box::new(crate::rndv::ReadRndv::client(ep, cfg)?),
+        ProtocolKind::DirectWriteImm => {
+            Box::new(crate::direct_write::DirectWriteImm::client(ep, cfg)?)
+        }
+        ProtocolKind::Pilaf => Box::new(crate::read_based::Pilaf::client(ep, cfg)?),
+        ProtocolKind::Farm => Box::new(crate::read_based::Farm::client(ep, cfg)?),
+        ProtocolKind::Rfp => Box::new(crate::read_based::Rfp::client(ep, cfg)?),
+        ProtocolKind::HybridEagerRndv => {
+            Box::new(crate::hybrid::HybridEagerRndv::client(ep, cfg)?)
+        }
+        ProtocolKind::Herd => Box::new(crate::herd::Herd::client(ep, cfg)?),
+    })
+}
+
+/// Construct the server side of `kind` over an accepted endpoint.
+pub fn accept_server(
+    kind: ProtocolKind,
+    ep: Endpoint,
+    cfg: ProtocolConfig,
+) -> Result<Box<dyn RpcServer>> {
+    Ok(match kind {
+        ProtocolKind::EagerSendRecv => Box::new(crate::eager::EagerSendRecv::server(ep, cfg)?),
+        ProtocolKind::DirectWriteSend => {
+            Box::new(crate::direct_write::DirectWriteSend::server(ep, cfg)?)
+        }
+        ProtocolKind::ChainedWriteSend => {
+            Box::new(crate::direct_write::ChainedWriteSend::server(ep, cfg)?)
+        }
+        ProtocolKind::WriteRndv => Box::new(crate::rndv::WriteRndv::server(ep, cfg)?),
+        ProtocolKind::ReadRndv => Box::new(crate::rndv::ReadRndv::server(ep, cfg)?),
+        ProtocolKind::DirectWriteImm => {
+            Box::new(crate::direct_write::DirectWriteImm::server(ep, cfg)?)
+        }
+        ProtocolKind::Pilaf => Box::new(crate::read_based::Pilaf::server(ep, cfg)?),
+        ProtocolKind::Farm => Box::new(crate::read_based::Farm::server(ep, cfg)?),
+        ProtocolKind::Rfp => Box::new(crate::read_based::Rfp::server(ep, cfg)?),
+        ProtocolKind::HybridEagerRndv => {
+            Box::new(crate::hybrid::HybridEagerRndv::server(ep, cfg)?)
+        }
+        ProtocolKind::Herd => Box::new(crate::herd::Herd::server(ep, cfg)?),
+    })
+}
+
+/// Charge a host memcpy of `len` bytes on the endpoint's node (eager
+/// protocols pay this; zero-copy ones don't).
+pub(crate) fn charge_memcpy(ep: &Endpoint, len: usize) {
+    let node = ep.node();
+    let ns = node.config().cost.memcpy_ns(len);
+    node.charge_cpu(ns);
+    hat_rdma_sim::stats::NodeStats::add(&node.stats().memcpys, 1);
+}
+
+/// Internal polling timeout: generous enough for heavily loaded sweeps,
+/// short enough for tests to fail fast on deadlock bugs.
+pub(crate) const POLL_TIMEOUT_NS: u64 = 30_000_000_000;
+
+/// Poll the receive CQ once with disconnect detection. A connection with
+/// no traffic for [`POLL_TIMEOUT_NS`] is treated as dead rather than
+/// spun on forever — in the simulator every in-flight message completes
+/// within microseconds, so a long-silent CQ means the peer is gone or a
+/// bug would otherwise hang the harness.
+pub(crate) fn poll_recv(ep: &Endpoint, poll: PollMode) -> Result<Option<hat_rdma_sim::Completion>> {
+    let give_up = hat_rdma_sim::now_ns() + POLL_TIMEOUT_NS;
+    loop {
+        match ep.recv_cq().poll_timeout(poll, 100_000_000) {
+            Ok(c) => return Ok(Some(c)),
+            Err(RdmaError::Timeout) => {
+                if !ep.is_alive() {
+                    return Ok(None);
+                }
+                if hat_rdma_sim::now_ns() > give_up {
+                    return Err(RdmaError::Timeout);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A small eager ring used for control traffic (handshakes, RTS/CTS/FIN,
+/// notify messages). Sends are inline (control messages are tiny); receive
+/// slots are pre-posted and re-posted after consumption.
+pub(crate) struct CtrlRing {
+    ep: Endpoint,
+    mr: MemoryRegion,
+    slot_size: usize,
+    slots: usize,
+}
+
+impl CtrlRing {
+    pub(crate) fn new(ep: &Endpoint, slots: usize, slot_size: usize) -> Result<CtrlRing> {
+        assert!(slot_size <= ep.qp_config().max_inline, "control slots must fit inline sends");
+        let mr = ep.pd().register(slots * slot_size)?;
+        for i in 0..slots {
+            ep.post_recv(RecvWr::new(i as u64, mr.clone(), i * slot_size, slot_size))?;
+        }
+        Ok(CtrlRing { ep: ep.clone(), mr, slot_size, slots })
+    }
+
+    /// Send a control message (inline).
+    pub(crate) fn send(&self, wr_id: u64, data: &[u8]) -> Result<()> {
+        assert!(data.len() <= self.slot_size, "control message too large for ring slot");
+        self.ep.post_send(&[SendWr::send_inline(wr_id, data.to_vec())])
+    }
+
+    /// Receive one control message; returns `None` on disconnect.
+    pub(crate) fn recv(&self, poll: PollMode) -> Result<Option<Vec<u8>>> {
+        let Some(comp) = poll_recv(&self.ep, poll)? else { return Ok(None) };
+        comp.ok()?;
+        let slot = comp.wr_id as usize % self.slots;
+        let data = self.mr.read_vec(slot * self.slot_size, comp.byte_len)?;
+        // Recycle the slot.
+        self.ep.post_recv(RecvWr::new(
+            comp.wr_id,
+            self.mr.clone(),
+            slot * self.slot_size,
+            self.slot_size,
+        ))?;
+        Ok(Some(data))
+    }
+}
+
+/// Out-of-band handshake: exchange fixed-size blobs between the two sides
+/// of a fresh connection (models the QP-establishment metadata exchange).
+///
+/// Both sides must call this concurrently with their own blob; each gets
+/// the peer's. Uses busy polling — handshakes are rare and short. Also
+/// used by the HatRPC engine for its connection preamble.
+pub fn exchange_blobs(ep: &Endpoint, blob: &[u8]) -> Result<Vec<u8>> {
+    const HSK_SLOT: usize = 208;
+    assert!(blob.len() <= HSK_SLOT, "handshake blob too large");
+    let mr = ep.pd().register(HSK_SLOT)?;
+    ep.post_recv(RecvWr::new(u64::MAX, mr.clone(), 0, HSK_SLOT))?;
+    ep.post_send(&[SendWr::send_inline(u64::MAX - 1, blob.to_vec())])?;
+    let comp = ep
+        .recv_cq()
+        .poll_timeout(PollMode::Busy, POLL_TIMEOUT_NS)?
+        .ok()?;
+    let peer = mr.read_vec(0, comp.byte_len)?;
+    mr.deregister();
+    Ok(peer)
+}
+
+/// Test helpers shared by every protocol module's unit tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use hat_rdma_sim::{Fabric, Node, SimConfig};
+    use std::sync::Arc;
+
+    /// A client plus enough context to assert on node statistics.
+    pub(crate) struct TestClient {
+        pub inner: Box<dyn RpcClient>,
+        node: Arc<Node>,
+        _fabric: Fabric,
+    }
+
+    impl TestClient {
+        pub(crate) fn call(&mut self, req: &[u8]) -> Result<Vec<u8>> {
+            self.inner.call(req)
+        }
+
+        pub(crate) fn node_memcpys(&self) -> u64 {
+            self.node.stats_snapshot().memcpys
+        }
+
+        pub(crate) fn node(&self) -> &Arc<Node> {
+            &self.node
+        }
+    }
+
+    /// A server plus its node for statistics assertions.
+    pub(crate) struct TestServer {
+        pub inner: Box<dyn RpcServer>,
+        node: Arc<Node>,
+    }
+
+    impl TestServer {
+        pub(crate) fn serve_one(
+            &mut self,
+            handler: &mut dyn FnMut(&[u8]) -> Vec<u8>,
+        ) -> Result<bool> {
+            self.inner.serve_one(handler)
+        }
+
+        pub(crate) fn node_memcpys(&self) -> u64 {
+            self.node.stats_snapshot().memcpys
+        }
+
+        pub(crate) fn node(&self) -> &Arc<Node> {
+            &self.node
+        }
+    }
+
+    /// Build a connected client/server pair of `kind` (handshakes run
+    /// concurrently, as they must).
+    pub(crate) fn echo_pair(kind: ProtocolKind, cfg: ProtocolConfig) -> (TestClient, TestServer) {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let cnode = fabric.add_node("client");
+        let snode = fabric.add_node("server");
+        let (cep, sep) = fabric.connect(&cnode, &snode).unwrap();
+        let scfg = cfg.clone();
+        let h = std::thread::spawn(move || accept_server(kind, sep, scfg).unwrap());
+        let client = connect_client(kind, cep, cfg).unwrap();
+        let server = h.join().unwrap();
+        (
+            TestClient { inner: client, node: cnode, _fabric: fabric },
+            TestServer { inner: server, node: snode },
+        )
+    }
+
+    /// Echo patterned payloads of each size through a fresh pair and
+    /// verify byte-exact responses.
+    pub(crate) fn run_echo_calls(kind: ProtocolKind, sizes: &[usize]) {
+        let max = sizes.iter().copied().max().unwrap_or(64).max(64);
+        let cfg = ProtocolConfig { max_msg: max, ..ProtocolConfig::default() };
+        let (mut client, mut server) = echo_pair(kind, cfg);
+        let n = sizes.len();
+        let h = std::thread::spawn(move || {
+            for _ in 0..n {
+                assert!(server.serve_one(&mut |req| {
+                    let mut resp = req.to_vec();
+                    resp.reverse();
+                    resp
+                })
+                .unwrap());
+            }
+            server
+        });
+        for (i, &size) in sizes.iter().enumerate() {
+            let req: Vec<u8> = (0..size).map(|j| ((i + j) % 251) as u8).collect();
+            let mut expected = req.clone();
+            expected.reverse();
+            let resp = client.call(&req).unwrap();
+            assert_eq!(resp, expected, "echo mismatch for {kind} at {size} bytes");
+        }
+        h.join().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_rdma_sim::{Fabric, SimConfig};
+
+    #[test]
+    fn protocol_labels_are_unique() {
+        let mut labels: Vec<_> = ProtocolKind::ALL.iter().map(|p| p.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), ProtocolKind::ALL.len());
+    }
+
+    #[test]
+    fn preknown_buffer_classification_matches_paper() {
+        assert!(ProtocolKind::DirectWriteImm.needs_preknown_buffer());
+        assert!(ProtocolKind::Rfp.needs_preknown_buffer());
+        assert!(!ProtocolKind::EagerSendRecv.needs_preknown_buffer());
+        assert!(!ProtocolKind::WriteRndv.needs_preknown_buffer());
+        assert!(!ProtocolKind::HybridEagerRndv.needs_preknown_buffer());
+    }
+
+    #[test]
+    fn handshake_exchanges_blobs_both_ways() {
+        let f = Fabric::new(SimConfig::fast_test());
+        let a = f.add_node("a");
+        let b = f.add_node("b");
+        let (ea, eb) = f.connect(&a, &b).unwrap();
+        let ha = std::thread::spawn(move || exchange_blobs(&ea, b"from-a").unwrap());
+        let hb = std::thread::spawn(move || exchange_blobs(&eb, b"from-b").unwrap());
+        assert_eq!(ha.join().unwrap(), b"from-b");
+        assert_eq!(hb.join().unwrap(), b"from-a");
+    }
+
+    #[test]
+    fn ctrl_ring_roundtrip_and_recycling() {
+        let f = Fabric::new(SimConfig::fast_test());
+        let a = f.add_node("a");
+        let b = f.add_node("b");
+        let (ea, eb) = f.connect(&a, &b).unwrap();
+        let ra = CtrlRing::new(&ea, 2, 64).unwrap();
+        let rb = CtrlRing::new(&eb, 2, 64).unwrap();
+        // Send more messages than slots to prove recycling works.
+        for i in 0..6u8 {
+            ra.send(i as u64, &[i; 8]).unwrap();
+            let got = rb.recv(PollMode::Busy).unwrap().unwrap();
+            assert_eq!(got, vec![i; 8]);
+        }
+        // And the reverse direction.
+        rb.send(0, b"reply").unwrap();
+        assert_eq!(ra.recv(PollMode::Busy).unwrap().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn ctrl_ring_reports_disconnect() {
+        let f = Fabric::new(SimConfig::fast_test());
+        let a = f.add_node("a");
+        let b = f.add_node("b");
+        let (ea, eb) = f.connect(&a, &b).unwrap();
+        let ring = CtrlRing::new(&eb, 2, 64).unwrap();
+        ea.close();
+        assert!(ring.recv(PollMode::Busy).unwrap().is_none());
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = ProtocolConfig::default().with_poll(PollMode::Event).with_max_msg(512);
+        assert_eq!(c.poll, PollMode::Event);
+        assert_eq!(c.max_msg, 512);
+        assert_eq!(ProtocolConfig::small().max_msg, 8 * 1024);
+    }
+}

@@ -1,0 +1,217 @@
+//! Hybrid-EagerRNDV: eager below a threshold, READ-rendezvous above.
+//!
+//! This is the adaptive design AR-gRPC ships (and the baseline the paper's
+//! Figures 11–14 compare HatRPC against): payloads at or below the
+//! threshold (4 KB in the paper, [`crate::ProtocolConfig::eager_threshold`]
+//! here) ride the eager ring in one trip; larger payloads send an RTS
+//! carrying the staged payload's rkey and the peer fetches it with a
+//! one-sided READ. The paper notes its weakness: payloads slightly above
+//! the switch point pay extra control messages — visible in our Figure 11
+//! reproduction right after 4 KB.
+
+use hat_rdma_sim::{Endpoint, MemoryRegion, RecvWr, RemoteBuf, Result, SendWr};
+
+use crate::common::{charge_memcpy, poll_recv, ProtocolConfig, ProtocolKind, RpcClient, RpcServer};
+
+/// Slot framing: 1-byte tag + 8-byte length.
+const HDR: usize = 9;
+const TAG_EAGER: u8 = 0;
+const TAG_RTS: u8 = 1;
+const TAG_FIN: u8 = 2;
+
+/// Hybrid eager/rendezvous connection (symmetric; both directions switch
+/// independently per message).
+pub struct HybridEagerRndv {
+    ep: Endpoint,
+    cfg: ProtocolConfig,
+    /// Eager receive ring, slots sized to the threshold.
+    ring: MemoryRegion,
+    /// Eager send staging.
+    eager_stage: MemoryRegion,
+    /// Rendezvous staging (source of peer READs).
+    rndv_stage: MemoryRegion,
+    /// Landing buffer for READs we issue.
+    landing: MemoryRegion,
+    slot_size: usize,
+}
+
+impl HybridEagerRndv {
+    /// Build the client side.
+    pub fn client(ep: Endpoint, cfg: ProtocolConfig) -> Result<HybridEagerRndv> {
+        Self::new(ep, cfg)
+    }
+
+    /// Build the server side.
+    pub fn server(ep: Endpoint, cfg: ProtocolConfig) -> Result<HybridEagerRndv> {
+        Self::new(ep, cfg)
+    }
+
+    fn new(ep: Endpoint, cfg: ProtocolConfig) -> Result<HybridEagerRndv> {
+        let slot_size = HDR + cfg.eager_threshold.max(RemoteBuf::WIRE_SIZE);
+        let ring = ep.pd().register(cfg.ring_slots * slot_size)?;
+        for i in 0..cfg.ring_slots {
+            ep.post_recv(RecvWr::new(i as u64, ring.clone(), i * slot_size, slot_size))?;
+        }
+        let eager_stage = ep.pd().register(slot_size)?;
+        let rndv_stage = ep.pd().register(cfg.max_msg)?;
+        let landing = ep.pd().register(cfg.max_msg)?;
+        Ok(HybridEagerRndv { ep, cfg, ring, eager_stage, rndv_stage, landing, slot_size })
+    }
+
+    /// The eager/rendezvous switch point for this connection.
+    pub fn threshold(&self) -> usize {
+        self.cfg.eager_threshold
+    }
+
+    fn send_msg(&self, data: &[u8]) -> Result<()> {
+        if data.len() <= self.cfg.eager_threshold {
+            // Eager path: copy + single SEND.
+            charge_memcpy(&self.ep, data.len());
+            self.eager_stage.write(0, &[TAG_EAGER])?;
+            self.eager_stage.write(1, &(data.len() as u64).to_le_bytes())?;
+            self.eager_stage.write(HDR, data)?;
+            self.ep.post_send(&[SendWr::send(0, self.eager_stage.slice(0, HDR + data.len()))])?;
+            Ok(())
+        } else {
+            // Rendezvous path: stage zero-copy, advertise, wait for FIN.
+            if data.len() > self.cfg.max_msg {
+                return Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(
+                    "payload of {} bytes exceeds the rendezvous stage ({} bytes)",
+                    data.len(),
+                    self.cfg.max_msg
+                )));
+            }
+            self.rndv_stage.write(0, data)?;
+            let rb = self.rndv_stage.remote_buf(0, data.len());
+            self.eager_stage.write(0, &[TAG_RTS])?;
+            self.eager_stage.write(1, &(data.len() as u64).to_le_bytes())?;
+            self.eager_stage.write(HDR, &rb.encode())?;
+            self.ep.post_send(&[SendWr::send(
+                0,
+                self.eager_stage.slice(0, HDR + RemoteBuf::WIRE_SIZE),
+            )])?;
+            // The peer READs the staged payload and FINs.
+            match self.recv_frame()? {
+                Some((TAG_FIN, _, _)) => Ok(()),
+                Some((tag, _, _)) => Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(
+                    "expected FIN, got tag {tag}"
+                ))),
+                None => Err(hat_rdma_sim::RdmaError::Disconnected),
+            }
+        }
+    }
+
+    /// Receive one raw ring frame: (tag, len, body).
+    fn recv_frame(&self) -> Result<Option<(u8, usize, Vec<u8>)>> {
+        let Some(comp) = poll_recv(&self.ep, self.cfg.poll)? else { return Ok(None) };
+        comp.ok()?;
+        let slot = comp.wr_id as usize % self.cfg.ring_slots;
+        let base = slot * self.slot_size;
+        let mut hdr = [0u8; HDR];
+        self.ring.read(base, &mut hdr)?;
+        let tag = hdr[0];
+        let len = u64::from_le_bytes(hdr[1..9].try_into().expect("8B")) as usize;
+        let body_len = comp.byte_len.saturating_sub(HDR);
+        let body = self.ring.read_vec(base + HDR, body_len)?;
+        self.ep.post_recv(RecvWr::new(comp.wr_id, self.ring.clone(), base, self.slot_size))?;
+        Ok(Some((tag, len, body)))
+    }
+
+    fn recv_msg(&self) -> Result<Option<Vec<u8>>> {
+        let Some((tag, len, body)) = self.recv_frame()? else { return Ok(None) };
+        match tag {
+            TAG_EAGER => {
+                charge_memcpy(&self.ep, len);
+                Ok(Some(body[..len].to_vec()))
+            }
+            TAG_RTS => {
+                let src = RemoteBuf::decode(&body)?;
+                self.ep
+                    .post_send(&[SendWr::read(1, self.landing.slice(0, len), src.sub(0, len as u64))
+                        .signaled()])?;
+                self.ep
+                    .send_cq()
+                    .poll_timeout(self.cfg.poll, crate::common::POLL_TIMEOUT_NS)?
+                    .ok()?;
+                // Release the peer's staging buffer.
+                self.ep.post_send(&[SendWr::send_inline(
+                    2,
+                    {
+                        let mut fin = vec![TAG_FIN];
+                        fin.extend_from_slice(&(len as u64).to_le_bytes());
+                        fin
+                    },
+                )])?;
+                Ok(Some(self.landing.read_vec(0, len)?))
+            }
+            other => Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(
+                "unexpected hybrid tag {other}"
+            ))),
+        }
+    }
+}
+
+impl RpcClient for HybridEagerRndv {
+    fn call(&mut self, request: &[u8]) -> Result<Vec<u8>> {
+        self.send_msg(request)?;
+        self.recv_msg()?.ok_or(hat_rdma_sim::RdmaError::Disconnected)
+    }
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::HybridEagerRndv
+    }
+}
+
+impl RpcServer for HybridEagerRndv {
+    fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool> {
+        let Some(request) = self.recv_msg()? else { return Ok(false) };
+        let response = handler(&request);
+        self.send_msg(&response)?;
+        Ok(true)
+    }
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::HybridEagerRndv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tests_support::{echo_pair, run_echo_calls};
+
+    #[test]
+    fn roundtrips_across_the_threshold() {
+        // 4096 rides eager; 4097 and up take the rendezvous path.
+        run_echo_calls(ProtocolKind::HybridEagerRndv, &[16, 4096, 4097, 131072]);
+    }
+
+    #[test]
+    fn small_messages_use_eager_copies_large_do_not() {
+        let (mut client, mut server) =
+            echo_pair(ProtocolKind::HybridEagerRndv, ProtocolConfig::default());
+        let h = std::thread::spawn(move || {
+            for _ in 0..2 {
+                server.serve_one(&mut |r| r.to_vec()).unwrap();
+            }
+        });
+        let m0 = client.node_memcpys();
+        client.call(&[1u8; 128]).unwrap();
+        let m1 = client.node_memcpys();
+        assert!(m1 > m0, "small payload pays the eager copy");
+        client.call(&[2u8; 64 * 1024]).unwrap();
+        let m2 = client.node_memcpys();
+        // The 64 KB payload moves zero-copy in both directions; the only
+        // copy the client pays is the tiny inline FIN control message.
+        assert!(m2 - m1 <= 1, "rendezvous path must not copy payloads (saw {} copies)", m2 - m1);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn server_sees_disconnect() {
+        let (client, mut server) =
+            echo_pair(ProtocolKind::HybridEagerRndv, ProtocolConfig::default());
+        drop(client);
+        assert!(!server.serve_one(&mut |r| r.to_vec()).unwrap());
+    }
+}

@@ -1,0 +1,41 @@
+//! # hat-protocols — the nine RDMA RPC protocols of HatRPC's Figure 3
+//!
+//! Each module implements one of the state-of-the-art RDMA communication
+//! protocols the paper analyzes in §3, over the simulated verbs layer
+//! ([`hat_rdma_sim`]), behind a uniform [`RpcClient`]/[`RpcServer`] API:
+//!
+//! | Protocol | Figure | Request path | Response path |
+//! |---|---|---|---|
+//! | [`eager::EagerSendRecv`] | 3a | copy + SEND into pre-posted ring | copy + SEND |
+//! | [`direct_write::DirectWriteSend`] | 3b | WRITE to pre-known buf + SEND notify (2 doorbells) | same |
+//! | [`direct_write::ChainedWriteSend`] | 3c | WRITE+SEND chained (1 doorbell) | same |
+//! | [`rndv::WriteRndv`] | 3d | RTS → CTS → WRITE + FIN | same |
+//! | [`rndv::ReadRndv`] | 3e | RTS(with rkey) → server READs | RTS → client READs → FIN |
+//! | [`direct_write::DirectWriteImm`] | 3f | WRITE_WITH_IMM (1 WR) | WRITE_WITH_IMM |
+//! | [`read_based::Pilaf`] | 3g | SEND | client: 2 READs metadata + 1 READ payload |
+//! | [`read_based::Farm`] | 3h | SEND | client: 1 READ metadata + 1 READ payload |
+//! | [`read_based::Rfp`] | 3i | WRITE into server buf (server polls memory) | client READ-polls server buf |
+//! | [`hybrid::HybridEagerRndv`] | §4.3 | eager ≤ 4 KB else Read-RNDV | same |
+//!
+//! The HatRPC engine (`hatrpc-core`) selects among these per service or
+//! function based on user hints; benchmarks compare them head-to-head to
+//! regenerate the paper's Figures 4 and 5.
+
+pub mod common;
+pub mod direct_write;
+pub mod eager;
+pub mod herd;
+pub mod hybrid;
+pub mod read_based;
+pub mod rndv;
+
+pub use common::{
+    accept_server, connect_client, exchange_blobs, ProtocolConfig, ProtocolKind, RpcClient,
+    RpcServer,
+};
+pub use direct_write::{ChainedWriteSend, DirectWriteImm, DirectWriteSend};
+pub use eager::EagerSendRecv;
+pub use herd::Herd;
+pub use hybrid::HybridEagerRndv;
+pub use read_based::{Farm, Pilaf, Rfp};
+pub use rndv::{ReadRndv, WriteRndv};

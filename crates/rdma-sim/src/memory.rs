@@ -1,0 +1,429 @@
+//! Protection domains and registered memory regions.
+//!
+//! Registered memory is the currency of RDMA: one-sided operations name a
+//! remote region by `rkey` + offset, eager protocols copy payloads into
+//! pre-registered slots, and the paper's `res_util` hint exists precisely
+//! because pinned regions are a scarce server-side resource. Registration
+//! and footprint are therefore tracked per node (see
+//! [`crate::stats::NodeStats`]).
+//!
+//! Every access through [`MemoryRegion::read`]/[`MemoryRegion::write`]
+//! first drains the owning node's pending-effect queue so that in-flight
+//! simulated RDMA WRITEs become visible exactly when their wire deadline
+//! passes — this is what makes memory-polling protocols (RFP, Pilaf, FaRM)
+//! time-accurate.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::RwLock;
+
+use crate::error::{RdmaError, Result};
+use crate::node::Node;
+
+/// Monotonic id source for rkeys/lkeys across the whole process.
+static NEXT_KEY: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) struct MrInner {
+    /// Local key (slices carry it; checked on local access in debug builds).
+    pub lkey: u64,
+    /// Remote key: how peers name this region in one-sided operations.
+    pub rkey: u64,
+    /// Backing storage.
+    pub buf: RwLock<Box<[u8]>>,
+    /// Owning node (for drains and stats); weak to avoid cycles.
+    pub node: Weak<Node>,
+    /// Set when deregistered; later accesses fail.
+    pub dead: AtomicBool,
+}
+
+/// A registered memory region handle (cheaply cloneable).
+#[derive(Clone)]
+pub struct MemoryRegion {
+    pub(crate) inner: Arc<MrInner>,
+}
+
+impl std::fmt::Debug for MemoryRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryRegion")
+            .field("lkey", &self.inner.lkey)
+            .field("rkey", &self.inner.rkey)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl MemoryRegion {
+    /// Region capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.buf.read().len()
+    }
+
+    /// True for zero-capacity regions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The remote key peers use to target this region.
+    pub fn rkey(&self) -> u64 {
+        self.inner.rkey
+    }
+
+    /// The local key.
+    pub fn lkey(&self) -> u64 {
+        self.inner.lkey
+    }
+
+    /// Describe a sub-range of this region for use in a work request.
+    pub fn slice(&self, offset: usize, len: usize) -> MrSlice {
+        MrSlice { mr: self.clone(), offset, len }
+    }
+
+    /// A [`RemoteBuf`] descriptor a peer can use to READ/WRITE this region.
+    ///
+    /// In a real deployment this is the metadata exchanged during
+    /// rendezvous/handshake messages; here it is a plain value the
+    /// protocols serialize into their control messages.
+    pub fn remote_buf(&self, offset: usize, len: usize) -> RemoteBuf {
+        let node_id = self.inner.node.upgrade().map(|n| n.id()).unwrap_or(u64::MAX);
+        RemoteBuf { node_id, rkey: self.inner.rkey, offset: offset as u64, len: len as u64 }
+    }
+
+    /// Copy `data` into the region at `offset` (application-side access;
+    /// drains pending simulated effects first).
+    pub fn write(&self, offset: usize, data: &[u8]) -> Result<()> {
+        self.check_live()?;
+        if let Some(node) = self.inner.node.upgrade() {
+            node.drain_effects();
+        }
+        self.write_raw(offset, data)
+    }
+
+    /// Copy bytes out of the region at `offset` (application-side access;
+    /// drains pending simulated effects first so in-flight RDMA WRITEs are
+    /// visible if and only if their deadline passed).
+    pub fn read(&self, offset: usize, out: &mut [u8]) -> Result<()> {
+        self.check_live()?;
+        if let Some(node) = self.inner.node.upgrade() {
+            node.drain_effects();
+        }
+        let buf = self.inner.buf.read();
+        let end = offset.checked_add(out.len()).ok_or(RdmaError::OutOfBounds {
+            offset,
+            len: out.len(),
+            capacity: buf.len(),
+        })?;
+        if end > buf.len() {
+            return Err(RdmaError::OutOfBounds { offset, len: out.len(), capacity: buf.len() });
+        }
+        out.copy_from_slice(&buf[offset..end]);
+        Ok(())
+    }
+
+    /// Read the whole region (or a prefix) into a fresh `Vec`.
+    pub fn read_vec(&self, offset: usize, len: usize) -> Result<Vec<u8>> {
+        let mut v = vec![0u8; len];
+        self.read(offset, &mut v)?;
+        Ok(v)
+    }
+
+    /// Internal write that does *not* drain (used by the effect-apply path
+    /// itself, which must not recurse).
+    pub(crate) fn write_raw(&self, offset: usize, data: &[u8]) -> Result<()> {
+        let mut buf = self.inner.buf.write();
+        let end = offset.checked_add(data.len()).ok_or(RdmaError::OutOfBounds {
+            offset,
+            len: data.len(),
+            capacity: buf.len(),
+        })?;
+        if end > buf.len() {
+            return Err(RdmaError::OutOfBounds { offset, len: data.len(), capacity: buf.len() });
+        }
+        buf[offset..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Internal read that does *not* drain (used by the simulated NIC when
+    /// serving in-bound RDMA READ).
+    pub(crate) fn read_raw(&self, offset: usize, len: usize) -> Result<Vec<u8>> {
+        let buf = self.inner.buf.read();
+        let end = offset.checked_add(len).ok_or(RdmaError::OutOfBounds {
+            offset,
+            len,
+            capacity: buf.len(),
+        })?;
+        if end > buf.len() {
+            return Err(RdmaError::OutOfBounds { offset, len, capacity: buf.len() });
+        }
+        Ok(buf[offset..end].to_vec())
+    }
+
+    /// Atomically read-modify-write an 8-byte word at `offset` under the
+    /// region's write lock (the simulated NIC's atomic unit, used by
+    /// RDMA COMPARE_AND_SWAP / FETCH_AND_ADD). Returns the old value;
+    /// `f` returns `Some(new)` to store or `None` to leave it unchanged.
+    pub(crate) fn atomic_update(
+        &self,
+        offset: usize,
+        f: impl FnOnce(u64) -> Option<u64>,
+    ) -> Result<u64> {
+        let mut buf = self.inner.buf.write();
+        let end = offset.checked_add(8).ok_or(RdmaError::OutOfBounds {
+            offset,
+            len: 8,
+            capacity: buf.len(),
+        })?;
+        if end > buf.len() {
+            return Err(RdmaError::OutOfBounds { offset, len: 8, capacity: buf.len() });
+        }
+        let old = u64::from_le_bytes(buf[offset..end].try_into().expect("8 bytes"));
+        if let Some(new) = f(old) {
+            buf[offset..end].copy_from_slice(&new.to_le_bytes());
+        }
+        Ok(old)
+    }
+
+    fn check_live(&self) -> Result<()> {
+        if self.inner.dead.load(Ordering::Acquire) {
+            Err(RdmaError::Deregistered)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Deregister the region: frees the footprint accounting and fails all
+    /// later accesses. Idempotent.
+    pub fn deregister(&self) {
+        if !self.inner.dead.swap(true, Ordering::AcqRel) {
+            if let Some(node) = self.inner.node.upgrade() {
+                node.stats().mem_deregistered(self.len() as u64);
+                node.forget_mr(self.inner.rkey);
+            }
+        }
+    }
+}
+
+/// A (region, offset, len) triple used as the local buffer of a work request.
+#[derive(Debug, Clone)]
+pub struct MrSlice {
+    /// The region.
+    pub mr: MemoryRegion,
+    /// Start offset within the region.
+    pub offset: usize,
+    /// Length of the slice.
+    pub len: usize,
+}
+
+impl MrSlice {
+    /// Validate the slice against its region's bounds.
+    pub fn validate(&self) -> Result<()> {
+        let cap = self.mr.len();
+        if self.offset.checked_add(self.len).is_none_or(|end| end > cap) {
+            return Err(RdmaError::OutOfBounds { offset: self.offset, len: self.len, capacity: cap });
+        }
+        Ok(())
+    }
+}
+
+/// Descriptor of a remote registered buffer (what rendezvous metadata
+/// messages carry): enough for a peer to issue a one-sided READ or WRITE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteBuf {
+    /// Fabric node id owning the memory.
+    pub node_id: u64,
+    /// Remote key of the region.
+    pub rkey: u64,
+    /// Offset within the region.
+    pub offset: u64,
+    /// Usable length.
+    pub len: u64,
+}
+
+impl RemoteBuf {
+    /// Serialized wire size of a `RemoteBuf` (4 × u64), as carried inside
+    /// control messages by the rendezvous protocols.
+    pub const WIRE_SIZE: usize = 32;
+
+    /// Encode to a fixed 32-byte little-endian representation.
+    pub fn encode(&self) -> [u8; Self::WIRE_SIZE] {
+        let mut out = [0u8; Self::WIRE_SIZE];
+        out[0..8].copy_from_slice(&self.node_id.to_le_bytes());
+        out[8..16].copy_from_slice(&self.rkey.to_le_bytes());
+        out[16..24].copy_from_slice(&self.offset.to_le_bytes());
+        out[24..32].copy_from_slice(&self.len.to_le_bytes());
+        out
+    }
+
+    /// Decode from the representation produced by [`RemoteBuf::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < Self::WIRE_SIZE {
+            return Err(RdmaError::InvalidWorkRequest(format!(
+                "RemoteBuf needs {} bytes, got {}",
+                Self::WIRE_SIZE,
+                bytes.len()
+            )));
+        }
+        let u = |r: std::ops::Range<usize>| {
+            u64::from_le_bytes(bytes[r].try_into().expect("range is 8 bytes"))
+        };
+        Ok(RemoteBuf { node_id: u(0..8), rkey: u(8..16), offset: u(16..24), len: u(24..32) })
+    }
+
+    /// A sub-range of this remote buffer.
+    pub fn sub(&self, offset: u64, len: u64) -> RemoteBuf {
+        RemoteBuf { node_id: self.node_id, rkey: self.rkey, offset: self.offset + offset, len }
+    }
+}
+
+/// A protection domain: the registration scope for memory regions.
+///
+/// Regions registered in a PD are owned by that PD's node; registration
+/// charges CPU time and counts against the node's pinned-memory footprint.
+#[derive(Clone)]
+pub struct ProtectionDomain {
+    node: Arc<Node>,
+}
+
+impl std::fmt::Debug for ProtectionDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtectionDomain").field("node", &self.node.name()).finish()
+    }
+}
+
+impl ProtectionDomain {
+    /// Allocate a protection domain on `node` (the `ibv_alloc_pd`
+    /// analogue). Endpoints carry their own PD; standalone allocation is
+    /// for server-resident regions shared across connections (sequencer
+    /// words, response boards).
+    pub fn new(node: Arc<Node>) -> Self {
+        ProtectionDomain { node }
+    }
+
+    /// The node this PD belongs to.
+    pub fn node(&self) -> &Arc<Node> {
+        &self.node
+    }
+
+    /// Register a zero-initialized region of `len` bytes.
+    ///
+    /// Charges the calibrated per-page registration cost and records the
+    /// pinned footprint.
+    pub fn register(&self, len: usize) -> Result<MemoryRegion> {
+        let lkey = NEXT_KEY.fetch_add(1, Ordering::Relaxed);
+        let rkey = NEXT_KEY.fetch_add(1, Ordering::Relaxed);
+        let inner = Arc::new(MrInner {
+            lkey,
+            rkey,
+            buf: RwLock::new(vec![0u8; len].into_boxed_slice()),
+            node: Arc::downgrade(&self.node),
+            dead: AtomicBool::new(false),
+        });
+        self.node.charge_cpu(self.node.config().cost.register_ns(len));
+        self.node.stats().mem_registered(len as u64);
+        self.node.remember_mr(rkey, &inner);
+        Ok(MemoryRegion { inner })
+    }
+
+    /// Register a region initialized with `data`.
+    pub fn register_with(&self, data: &[u8]) -> Result<MemoryRegion> {
+        let mr = self.register(data.len())?;
+        mr.write_raw(0, data)?;
+        Ok(mr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SimConfig;
+    use crate::fabric::Fabric;
+
+    fn pd() -> (Fabric, ProtectionDomain) {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let node = fabric.add_node("n0");
+        let pd = ProtectionDomain::new(node);
+        (fabric, pd)
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let (_f, pd) = pd();
+        let mr = pd.register(128).unwrap();
+        mr.write(5, b"abc").unwrap();
+        let mut out = [0u8; 3];
+        mr.read(5, &mut out).unwrap();
+        assert_eq!(&out, b"abc");
+    }
+
+    #[test]
+    fn out_of_bounds_write_fails() {
+        let (_f, pd) = pd();
+        let mr = pd.register(8).unwrap();
+        let err = mr.write(6, b"abc").unwrap_err();
+        assert!(matches!(err, RdmaError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_read_fails() {
+        let (_f, pd) = pd();
+        let mr = pd.register(8).unwrap();
+        let mut out = [0u8; 4];
+        assert!(mr.read(5, &mut out).is_err());
+    }
+
+    #[test]
+    fn deregistered_region_rejects_access() {
+        let (_f, pd) = pd();
+        let mr = pd.register(8).unwrap();
+        mr.deregister();
+        assert_eq!(mr.write(0, b"x").unwrap_err(), RdmaError::Deregistered);
+        let mut out = [0u8; 1];
+        assert_eq!(mr.read(0, &mut out).unwrap_err(), RdmaError::Deregistered);
+        // Idempotent.
+        mr.deregister();
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let (_f, pd) = pd();
+        let n = pd.node().clone();
+        let before = n.stats().snapshot().registered_bytes;
+        let mr = pd.register(4096).unwrap();
+        assert_eq!(n.stats().snapshot().registered_bytes, before + 4096);
+        mr.deregister();
+        assert_eq!(n.stats().snapshot().registered_bytes, before);
+    }
+
+    #[test]
+    fn remote_buf_encode_decode_roundtrip() {
+        let rb = RemoteBuf { node_id: 7, rkey: 0xabcdef, offset: 1024, len: 4096 };
+        let enc = rb.encode();
+        assert_eq!(RemoteBuf::decode(&enc).unwrap(), rb);
+        assert!(RemoteBuf::decode(&enc[..31]).is_err());
+    }
+
+    #[test]
+    fn remote_buf_sub_range() {
+        let rb = RemoteBuf { node_id: 1, rkey: 2, offset: 100, len: 50 };
+        let s = rb.sub(10, 20);
+        assert_eq!(s.offset, 110);
+        assert_eq!(s.len, 20);
+        assert_eq!(s.rkey, 2);
+    }
+
+    #[test]
+    fn slice_validation() {
+        let (_f, pd) = pd();
+        let mr = pd.register(16).unwrap();
+        assert!(mr.slice(0, 16).validate().is_ok());
+        assert!(mr.slice(8, 9).validate().is_err());
+        assert!(mr.slice(usize::MAX, 2).validate().is_err());
+    }
+
+    #[test]
+    fn register_with_initial_data() {
+        let (_f, pd) = pd();
+        let mr = pd.register_with(b"initial").unwrap();
+        assert_eq!(mr.read_vec(0, 7).unwrap(), b"initial");
+    }
+}

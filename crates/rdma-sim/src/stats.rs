@@ -1,0 +1,166 @@
+//! Lock-free statistics counters for nodes and the fabric.
+//!
+//! The paper's §3.2 analysis reasons about CPU utilization, memory
+//! footprint, doorbell counts, and in-bound vs out-bound RDMA asymmetry;
+//! these counters make every one of those quantities observable from the
+//! simulation so tests and the `repro micro` harness can assert them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-node counters. All methods are thread-safe and relaxed — these are
+/// statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Work requests posted (send side).
+    pub wrs_posted: AtomicU64,
+    /// MMIO doorbells rung (one per posted chain).
+    pub doorbells: AtomicU64,
+    /// Receive work requests posted.
+    pub recvs_posted: AtomicU64,
+    /// Completions consumed from CQs on this node.
+    pub completions: AtomicU64,
+    /// Bytes sent on the egress link.
+    pub bytes_tx: AtomicU64,
+    /// Bytes received on the ingress link.
+    pub bytes_rx: AtomicU64,
+    /// In-bound one-sided operations served (remote READ/WRITE targeting us).
+    pub inbound_rdma: AtomicU64,
+    /// Out-bound one-sided operations issued.
+    pub outbound_rdma: AtomicU64,
+    /// Host memcpys charged (eager copies etc.).
+    pub memcpys: AtomicU64,
+    /// Receiver-not-ready stalls (SEND arrived before a RECV was posted).
+    pub rnr_stalls: AtomicU64,
+    /// Simulated CPU nanoseconds burned on this node (spin charges and
+    /// busy-poll loops).
+    pub cpu_busy_ns: AtomicU64,
+    /// Bytes of registered (pinned) memory currently live.
+    pub registered_bytes: AtomicU64,
+    /// Peak of `registered_bytes`.
+    pub registered_bytes_peak: AtomicU64,
+    /// Connections established.
+    pub connections: AtomicU64,
+}
+
+impl NodeStats {
+    /// Add to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    #[inline]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Track a change in registered-memory footprint.
+    pub fn mem_registered(&self, bytes: u64) {
+        let now = self.registered_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.registered_bytes_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Track a deregistration.
+    pub fn mem_deregistered(&self, bytes: u64) {
+        self.registered_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters into a plain struct (for printing/asserting).
+    pub fn snapshot(&self) -> NodeStatsSnapshot {
+        NodeStatsSnapshot {
+            wrs_posted: Self::get(&self.wrs_posted),
+            doorbells: Self::get(&self.doorbells),
+            recvs_posted: Self::get(&self.recvs_posted),
+            completions: Self::get(&self.completions),
+            bytes_tx: Self::get(&self.bytes_tx),
+            bytes_rx: Self::get(&self.bytes_rx),
+            inbound_rdma: Self::get(&self.inbound_rdma),
+            outbound_rdma: Self::get(&self.outbound_rdma),
+            memcpys: Self::get(&self.memcpys),
+            rnr_stalls: Self::get(&self.rnr_stalls),
+            cpu_busy_ns: Self::get(&self.cpu_busy_ns),
+            registered_bytes: Self::get(&self.registered_bytes),
+            registered_bytes_peak: Self::get(&self.registered_bytes_peak),
+            connections: Self::get(&self.connections),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`NodeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStatsSnapshot {
+    pub wrs_posted: u64,
+    pub doorbells: u64,
+    pub recvs_posted: u64,
+    pub completions: u64,
+    pub bytes_tx: u64,
+    pub bytes_rx: u64,
+    pub inbound_rdma: u64,
+    pub outbound_rdma: u64,
+    pub memcpys: u64,
+    pub rnr_stalls: u64,
+    pub cpu_busy_ns: u64,
+    pub registered_bytes: u64,
+    pub registered_bytes_peak: u64,
+    pub connections: u64,
+}
+
+/// Fabric-wide aggregate statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Snapshot per node, in node-id order.
+    pub nodes: Vec<(String, NodeStatsSnapshot)>,
+}
+
+impl FabricStats {
+    /// Total bytes transmitted across all nodes.
+    pub fn total_bytes_tx(&self) -> u64 {
+        self.nodes.iter().map(|(_, s)| s.bytes_tx).sum()
+    }
+
+    /// Total simulated CPU-busy time across all nodes, ns.
+    pub fn total_cpu_busy_ns(&self) -> u64 {
+        self.nodes.iter().map(|(_, s)| s.cpu_busy_ns).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NodeStats::default();
+        NodeStats::add(&s.wrs_posted, 3);
+        NodeStats::add(&s.wrs_posted, 2);
+        assert_eq!(NodeStats::get(&s.wrs_posted), 5);
+    }
+
+    #[test]
+    fn peak_memory_tracks_high_watermark() {
+        let s = NodeStats::default();
+        s.mem_registered(100);
+        s.mem_registered(50);
+        s.mem_deregistered(120);
+        s.mem_registered(10);
+        let snap = s.snapshot();
+        assert_eq!(snap.registered_bytes, 40);
+        assert_eq!(snap.registered_bytes_peak, 150);
+    }
+
+    #[test]
+    fn fabric_stats_aggregate() {
+        let mut f = FabricStats::default();
+        f.nodes.push((
+            "a".into(),
+            NodeStatsSnapshot { bytes_tx: 10, cpu_busy_ns: 5, ..Default::default() },
+        ));
+        f.nodes.push((
+            "b".into(),
+            NodeStatsSnapshot { bytes_tx: 7, cpu_busy_ns: 3, ..Default::default() },
+        ));
+        assert_eq!(f.total_bytes_tx(), 17);
+        assert_eq!(f.total_cpu_busy_ns(), 8);
+    }
+}

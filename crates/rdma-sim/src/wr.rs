@@ -1,0 +1,255 @@
+//! Work requests: the verbs operations the paper's protocols are built from.
+
+use crate::memory::{MemoryRegion, MrSlice, RemoteBuf};
+
+/// Operation kind, mirroring `ibv_wr_opcode` / `ibv_wc_opcode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Two-sided send (consumes a posted receive at the peer).
+    Send,
+    /// Receive completion.
+    Recv,
+    /// One-sided RDMA WRITE (no peer completion).
+    Write,
+    /// One-sided RDMA READ.
+    Read,
+    /// RDMA WRITE_WITH_IMM: one-sided write plus a peer completion carrying
+    /// a 32-bit immediate (consumes a posted receive at the peer).
+    WriteImm,
+    /// One-sided atomic compare-and-swap on an 8-byte remote word.
+    CompSwap,
+    /// One-sided atomic fetch-and-add on an 8-byte remote word.
+    FetchAdd,
+}
+
+/// Payload source for a send-side work request.
+#[derive(Debug, Clone)]
+pub enum SendPayload {
+    /// Zero-copy from a registered region.
+    Mr(MrSlice),
+    /// Inline data copied into the WQE at post time (small payloads only;
+    /// bounded by [`crate::qp::QpConfig::max_inline`]). Saves the lkey
+    /// lookup/DMA at the cost of a host memcpy.
+    Inline(Vec<u8>),
+}
+
+impl SendPayload {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            SendPayload::Mr(s) => s.len,
+            SendPayload::Inline(d) => d.len(),
+        }
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this payload is inline.
+    pub fn is_inline(&self) -> bool {
+        matches!(self, SendPayload::Inline(_))
+    }
+}
+
+/// The operation of a send-side work request.
+#[derive(Debug, Clone)]
+pub enum SendOp {
+    /// Two-sided SEND.
+    Send { payload: SendPayload },
+    /// One-sided WRITE into `remote`.
+    Write { payload: SendPayload, remote: RemoteBuf },
+    /// WRITE_WITH_IMM into `remote` carrying `imm`.
+    WriteImm { payload: SendPayload, remote: RemoteBuf, imm: u32 },
+    /// One-sided READ of `remote` into `local`.
+    Read { local: MrSlice, remote: RemoteBuf },
+    /// Atomic compare-and-swap: if the remote 8-byte word equals
+    /// `compare`, store `swap`; the old value lands in `local`.
+    CompSwap { local: MrSlice, remote: RemoteBuf, compare: u64, swap: u64 },
+    /// Atomic fetch-and-add: add `add` to the remote 8-byte word; the old
+    /// value lands in `local`.
+    FetchAdd { local: MrSlice, remote: RemoteBuf, add: u64 },
+}
+
+impl SendOp {
+    /// Bytes this operation moves across the wire.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            SendOp::Send { payload } | SendOp::Write { payload, .. } => payload.len(),
+            SendOp::WriteImm { payload, .. } => payload.len(),
+            SendOp::Read { local, .. } => local.len,
+            SendOp::CompSwap { .. } | SendOp::FetchAdd { .. } => 8,
+        }
+    }
+
+    /// The completion opcode this operation produces.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            SendOp::Send { .. } => Opcode::Send,
+            SendOp::Write { .. } => Opcode::Write,
+            SendOp::WriteImm { .. } => Opcode::WriteImm,
+            SendOp::Read { .. } => Opcode::Read,
+            SendOp::CompSwap { .. } => Opcode::CompSwap,
+            SendOp::FetchAdd { .. } => Opcode::FetchAdd,
+        }
+    }
+}
+
+/// A send-side work request. Post one or more as a *chain* with a single
+/// doorbell via [`crate::Endpoint::post_send`] — chaining is the
+/// Chained-Write-Send optimization from the paper's Figure 3c.
+#[derive(Debug, Clone)]
+pub struct SendWr {
+    /// Caller-chosen id, surfaced in the matching [`crate::Completion`].
+    pub wr_id: u64,
+    /// The operation.
+    pub op: SendOp,
+    /// Whether to generate a completion on the send CQ.
+    pub signaled: bool,
+}
+
+impl SendWr {
+    /// Two-sided SEND from a registered slice.
+    pub fn send(wr_id: u64, slice: MrSlice) -> SendWr {
+        SendWr { wr_id, op: SendOp::Send { payload: SendPayload::Mr(slice) }, signaled: false }
+    }
+
+    /// Two-sided SEND of inline data.
+    pub fn send_inline(wr_id: u64, data: impl Into<Vec<u8>>) -> SendWr {
+        SendWr {
+            wr_id,
+            op: SendOp::Send { payload: SendPayload::Inline(data.into()) },
+            signaled: false,
+        }
+    }
+
+    /// One-sided WRITE from a registered slice.
+    pub fn write(wr_id: u64, slice: MrSlice, remote: RemoteBuf) -> SendWr {
+        SendWr { wr_id, op: SendOp::Write { payload: SendPayload::Mr(slice), remote }, signaled: false }
+    }
+
+    /// One-sided WRITE of inline data.
+    pub fn write_inline(wr_id: u64, data: impl Into<Vec<u8>>, remote: RemoteBuf) -> SendWr {
+        SendWr {
+            wr_id,
+            op: SendOp::Write { payload: SendPayload::Inline(data.into()), remote },
+            signaled: false,
+        }
+    }
+
+    /// WRITE_WITH_IMM from a registered slice.
+    pub fn write_imm(wr_id: u64, slice: MrSlice, remote: RemoteBuf, imm: u32) -> SendWr {
+        SendWr {
+            wr_id,
+            op: SendOp::WriteImm { payload: SendPayload::Mr(slice), remote, imm },
+            signaled: false,
+        }
+    }
+
+    /// WRITE_WITH_IMM of inline data.
+    pub fn write_imm_inline(
+        wr_id: u64,
+        data: impl Into<Vec<u8>>,
+        remote: RemoteBuf,
+        imm: u32,
+    ) -> SendWr {
+        SendWr {
+            wr_id,
+            op: SendOp::WriteImm { payload: SendPayload::Inline(data.into()), remote, imm },
+            signaled: false,
+        }
+    }
+
+    /// One-sided READ of `remote` into `local`.
+    pub fn read(wr_id: u64, local: MrSlice, remote: RemoteBuf) -> SendWr {
+        SendWr { wr_id, op: SendOp::Read { local, remote }, signaled: false }
+    }
+
+    /// Atomic compare-and-swap on an 8-byte remote word; the old value is
+    /// written to `local` (little endian).
+    pub fn comp_swap(
+        wr_id: u64,
+        local: MrSlice,
+        remote: RemoteBuf,
+        compare: u64,
+        swap: u64,
+    ) -> SendWr {
+        SendWr { wr_id, op: SendOp::CompSwap { local, remote, compare, swap }, signaled: false }
+    }
+
+    /// Atomic fetch-and-add on an 8-byte remote word; the old value is
+    /// written to `local` (little endian).
+    pub fn fetch_add(wr_id: u64, local: MrSlice, remote: RemoteBuf, add: u64) -> SendWr {
+        SendWr { wr_id, op: SendOp::FetchAdd { local, remote, add }, signaled: false }
+    }
+
+    /// Request a send-CQ completion for this work request.
+    pub fn signaled(mut self) -> SendWr {
+        self.signaled = true;
+        self
+    }
+}
+
+/// A receive-side work request: a buffer slot awaiting an incoming SEND or
+/// WRITE_WITH_IMM completion.
+#[derive(Debug, Clone)]
+pub struct RecvWr {
+    /// Caller-chosen id, surfaced in the matching completion.
+    pub wr_id: u64,
+    /// Region the payload lands in.
+    pub mr: MemoryRegion,
+    /// Offset within the region.
+    pub offset: usize,
+    /// Capacity of this receive slot.
+    pub len: usize,
+}
+
+impl RecvWr {
+    /// Build a receive work request for `len` bytes at `offset` in `mr`.
+    pub fn new(wr_id: u64, mr: MemoryRegion, offset: usize, len: usize) -> RecvWr {
+        RecvWr { wr_id, mr, offset, len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SimConfig;
+    use crate::fabric::Fabric;
+
+    #[test]
+    fn constructors_set_expected_ops() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let n = fabric.add_node("n");
+        let pd = crate::memory::ProtectionDomain::new(n);
+        let mr = pd.register(64).unwrap();
+        let rb = mr.remote_buf(0, 64);
+
+        let s = SendWr::send(1, mr.slice(0, 8));
+        assert_eq!(s.op.opcode(), Opcode::Send);
+        assert_eq!(s.op.wire_bytes(), 8);
+        assert!(!s.signaled);
+        assert!(s.signaled().signaled);
+
+        let w = SendWr::write_inline(2, vec![0u8; 16], rb);
+        assert_eq!(w.op.opcode(), Opcode::Write);
+        assert_eq!(w.op.wire_bytes(), 16);
+
+        let wi = SendWr::write_imm(3, mr.slice(0, 4), rb, 0xbeef);
+        assert_eq!(wi.op.opcode(), Opcode::WriteImm);
+
+        let r = SendWr::read(4, mr.slice(0, 32), rb);
+        assert_eq!(r.op.opcode(), Opcode::Read);
+        assert_eq!(r.op.wire_bytes(), 32);
+    }
+
+    #[test]
+    fn payload_len_and_inline_flag() {
+        let p = SendPayload::Inline(vec![1, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert!(p.is_inline());
+        assert!(!p.is_empty());
+        assert!(SendPayload::Inline(vec![]).is_empty());
+    }
+}

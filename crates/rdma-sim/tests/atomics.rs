@@ -1,0 +1,201 @@
+//! Integration tests for the one-sided verbs atomics (COMPARE_AND_SWAP /
+//! FETCH_AND_ADD): the building blocks of RDMA sequencers and lock
+//! services.
+
+use hat_rdma_sim::{Fabric, Opcode, PollMode, SimConfig, SendWr};
+
+fn pair() -> (Fabric, hat_rdma_sim::Endpoint, hat_rdma_sim::Endpoint) {
+    let f = Fabric::new(SimConfig::fast_test());
+    let a = f.add_node("client");
+    let b = f.add_node("server");
+    let (ea, eb) = f.connect(&a, &b).unwrap();
+    (f, ea, eb)
+}
+
+#[test]
+fn fetch_add_returns_old_value_and_increments() {
+    let (_f, client, server) = pair();
+    let counter = server.pd().register(8).unwrap();
+    counter.write(0, &10u64.to_le_bytes()).unwrap();
+    let rb = counter.remote_buf(0, 8);
+    let landing = client.pd().register(8).unwrap();
+
+    client.post_send(&[SendWr::fetch_add(1, landing.slice(0, 8), rb, 5).signaled()]).unwrap();
+    let c = client.send_cq().poll_one(PollMode::Busy).unwrap();
+    assert_eq!(c.opcode, Opcode::FetchAdd);
+    assert_eq!(c.byte_len, 8);
+    let old = u64::from_le_bytes(landing.read_vec(0, 8).unwrap().try_into().unwrap());
+    assert_eq!(old, 10, "old value landed locally");
+    let now = u64::from_le_bytes(counter.read_vec(0, 8).unwrap().try_into().unwrap());
+    assert_eq!(now, 15, "remote word incremented");
+}
+
+#[test]
+fn comp_swap_succeeds_only_on_match() {
+    let (_f, client, server) = pair();
+    let word = server.pd().register(8).unwrap();
+    word.write(0, &100u64.to_le_bytes()).unwrap();
+    let rb = word.remote_buf(0, 8);
+    let landing = client.pd().register(8).unwrap();
+
+    // Mismatched compare: no swap, old value returned.
+    client
+        .post_send(&[SendWr::comp_swap(1, landing.slice(0, 8), rb, 999, 1).signaled()])
+        .unwrap();
+    client.send_cq().poll_one(PollMode::Busy).unwrap();
+    let old = u64::from_le_bytes(landing.read_vec(0, 8).unwrap().try_into().unwrap());
+    assert_eq!(old, 100);
+    assert_eq!(
+        u64::from_le_bytes(word.read_vec(0, 8).unwrap().try_into().unwrap()),
+        100,
+        "mismatch leaves the word untouched"
+    );
+
+    // Matching compare: swap applies.
+    client
+        .post_send(&[SendWr::comp_swap(2, landing.slice(0, 8), rb, 100, 777).signaled()])
+        .unwrap();
+    let c = client.send_cq().poll_one(PollMode::Busy).unwrap();
+    assert_eq!(c.opcode, Opcode::CompSwap);
+    assert_eq!(
+        u64::from_le_bytes(word.read_vec(0, 8).unwrap().try_into().unwrap()),
+        777
+    );
+}
+
+/// The sequencer pattern: concurrent clients fetch-and-add one shared
+/// word; every ticket must be unique and the final count exact.
+#[test]
+fn concurrent_fetch_add_is_a_correct_sequencer() {
+    let f = Fabric::new(SimConfig::fast_test());
+    let server_node = f.add_node("seq-server");
+    let seq_word = {
+        let pd = hat_rdma_sim::ProtectionDomain::new(server_node.clone());
+        pd.register(8).unwrap()
+    };
+    let rb = seq_word.remote_buf(0, 8);
+
+    const CLIENTS: usize = 4;
+    const TICKETS: usize = 25;
+    let mut handles = Vec::new();
+    for i in 0..CLIENTS {
+        let f = f.clone();
+        let server_node = server_node.clone();
+        handles.push(std::thread::spawn(move || {
+            let cnode = f.add_node(&format!("seq-client{i}"));
+            let (ep, _server_ep) = f.connect(&cnode, &server_node).unwrap();
+            let landing = ep.pd().register(8).unwrap();
+            let mut tickets = Vec::with_capacity(TICKETS);
+            for t in 0..TICKETS {
+                ep.post_send(&[
+                    SendWr::fetch_add(t as u64, landing.slice(0, 8), rb, 1).signaled()
+                ])
+                .unwrap();
+                ep.send_cq().poll_one(PollMode::Busy).unwrap();
+                tickets.push(u64::from_le_bytes(
+                    landing.read_vec(0, 8).unwrap().try_into().unwrap(),
+                ));
+            }
+            (ep, tickets)
+        }));
+    }
+    let mut all: Vec<u64> = Vec::new();
+    let mut eps = Vec::new();
+    for h in handles {
+        let (ep, tickets) = h.join().unwrap();
+        eps.push(ep);
+        all.extend(tickets);
+    }
+    all.sort_unstable();
+    let expected: Vec<u64> = (0..(CLIENTS * TICKETS) as u64).collect();
+    assert_eq!(all, expected, "every ticket unique, none lost");
+    assert_eq!(
+        u64::from_le_bytes(seq_word.read_vec(0, 8).unwrap().try_into().unwrap()),
+        (CLIENTS * TICKETS) as u64
+    );
+}
+
+/// A spin-lock built from CAS: mutual exclusion over a remote counter
+/// updated with non-atomic read+write (which would race without the lock).
+#[test]
+fn cas_lock_provides_mutual_exclusion() {
+    let f = Fabric::new(SimConfig::fast_test());
+    let server_node = f.add_node("lock-server");
+    let pd = hat_rdma_sim::ProtectionDomain::new(server_node.clone());
+    let lock_word = pd.register(8).unwrap();
+    let guarded = pd.register(8).unwrap();
+    let lock_rb = lock_word.remote_buf(0, 8);
+    let guarded_rb = guarded.remote_buf(0, 8);
+
+    const CLIENTS: usize = 3;
+    const INCREMENTS: usize = 15;
+    let mut handles = Vec::new();
+    for i in 0..CLIENTS {
+        let f = f.clone();
+        let server_node = server_node.clone();
+        handles.push(std::thread::spawn(move || {
+            let cnode = f.add_node(&format!("lock-client{i}"));
+            let (ep, server_ep) = f.connect(&cnode, &server_node).unwrap();
+            let landing = ep.pd().register(16).unwrap();
+            for _ in 0..INCREMENTS {
+                // Acquire: CAS 0 -> 1, retrying until the old value was 0.
+                loop {
+                    ep.post_send(&[
+                        SendWr::comp_swap(1, landing.slice(0, 8), lock_rb, 0, 1).signaled()
+                    ])
+                    .unwrap();
+                    ep.send_cq().poll_one(PollMode::Busy).unwrap();
+                    let old =
+                        u64::from_le_bytes(landing.read_vec(0, 8).unwrap().try_into().unwrap());
+                    if old == 0 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                // Critical section: READ, add one, WRITE back (racy
+                // without the lock).
+                ep.post_send(&[SendWr::read(2, landing.slice(8, 8), guarded_rb).signaled()])
+                    .unwrap();
+                ep.send_cq().poll_one(PollMode::Busy).unwrap();
+                let v = u64::from_le_bytes(landing.read_vec(8, 8).unwrap().try_into().unwrap());
+                ep.post_send(&[SendWr::write_inline(
+                    3,
+                    (v + 1).to_le_bytes().to_vec(),
+                    guarded_rb,
+                )
+                .signaled()])
+                .unwrap();
+                ep.send_cq().poll_one(PollMode::Busy).unwrap();
+                // Release: CAS 1 -> 0.
+                ep.post_send(&[
+                    SendWr::comp_swap(4, landing.slice(0, 8), lock_rb, 1, 0).signaled()
+                ])
+                .unwrap();
+                ep.send_cq().poll_one(PollMode::Busy).unwrap();
+            }
+            (ep, server_ep)
+        }));
+    }
+    let _eps: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let total = u64::from_le_bytes(guarded.read_vec(0, 8).unwrap().try_into().unwrap());
+    assert_eq!(total, (CLIENTS * INCREMENTS) as u64, "no lost updates under the CAS lock");
+}
+
+#[test]
+fn atomic_against_bad_target_errors() {
+    let (_f, client, _server) = pair();
+    let landing = client.pd().register(8).unwrap();
+    let bogus = hat_rdma_sim::RemoteBuf { node_id: 9999, rkey: 1, offset: 0, len: 8 };
+    assert!(client
+        .post_send(&[SendWr::fetch_add(1, landing.slice(0, 8), bogus, 1)])
+        .is_err());
+    // Landing buffer too small.
+    let tiny = client.pd().register(4).unwrap();
+    let (_f2, c2, s2) = pair();
+    let word = s2.pd().register(8).unwrap();
+    let err = c2
+        .post_send(&[SendWr::fetch_add(1, tiny.slice(0, 4), word.remote_buf(0, 8), 1)])
+        .unwrap_err();
+    assert!(matches!(err, hat_rdma_sim::RdmaError::InvalidWorkRequest(_)));
+    let _ = client;
+}

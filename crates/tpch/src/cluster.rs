@@ -1,0 +1,463 @@
+//! The distributed deployment: one coordinator + N workers, with the
+//! query exchange riding a pluggable transport (paper Figure 17's three
+//! configurations).
+
+use std::sync::Arc;
+
+use hat_idl::hints::{Hint, HintBlock};
+use hat_rdma_sim::{now_ns, Fabric, Node};
+use hatrpc_core::dispatch::{decode_reply, encode_call, Router};
+use hatrpc_core::engine::{HatClient, HatServer, ServerPolicy};
+use hatrpc_core::error::Result;
+use hatrpc_core::protocol::{TInputProtocol, TOutputProtocol, TType};
+use hatrpc_core::service::ServiceSchema;
+use hatrpc_core::transport::{ClientTransport, ServerTransport, TServerSocket, TSocket};
+
+use crate::queries::{all_queries, decode_groups, encode_groups, ExchangeClass, QueryDef, QueryResult};
+use crate::schema::{Dataset, Partition};
+
+/// Which RPC stack the exchanges use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Vanilla Thrift over IPoIB (the baseline).
+    Ipoib,
+    /// HatRPC with service-granularity hints only.
+    HatRpcService,
+    /// HatRPC with function-granularity hints plus NUMA binding and a
+    /// hybrid (TCP) transport for the tiny prepare/control function
+    /// (paper §5.5's HatRPC-Function configuration).
+    HatRpcFunction,
+}
+
+impl TransportMode {
+    /// Figure 17 legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportMode::Ipoib => "Thrift/IPoIB",
+            TransportMode::HatRpcService => "HatRPC-Service",
+            TransportMode::HatRpcFunction => "HatRPC-Function",
+        }
+    }
+}
+
+/// Cluster/dataset parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// TPC-H scale factor (the paper runs SF1000; simulator-scale
+    /// defaults are far smaller — shapes, not absolutes).
+    pub sf: f64,
+    /// Worker (data) nodes; the paper's testbed is 10 nodes = 1
+    /// coordinator + 9 workers.
+    pub workers: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { sf: 0.01, workers: 4, seed: 7 }
+    }
+}
+
+fn hints(pairs: &[(&str, &str)]) -> HintBlock {
+    HintBlock {
+        shared: pairs
+            .iter()
+            .map(|(k, v)| Hint { key: k.to_string(), value: v.to_string() })
+            .collect(),
+        ..Default::default()
+    }
+}
+
+/// Service-level-only schema: one tone for every fragment exchange.
+fn service_schema(workers: usize) -> ServiceSchema {
+    ServiceSchema {
+        name: "TpchExchange".to_string(),
+        service_hints: hints(&[
+            ("perf_goal", "throughput"),
+            ("concurrency", &workers.to_string()),
+            ("payload_size", "64K"),
+        ]),
+        functions: vec![
+            ("frag".to_string(), HintBlock::default()),
+            ("frag_small".to_string(), HintBlock::default()),
+            ("frag_bulk".to_string(), HintBlock::default()),
+            ("ctl".to_string(), HintBlock::default()),
+        ],
+    }
+}
+
+/// Function-level schema: latency-hinted small fragments, throughput- and
+/// NUMA-hinted bulk fragments, and a TCP-transport control function.
+fn function_schema(workers: usize) -> ServiceSchema {
+    ServiceSchema {
+        name: "TpchExchange".to_string(),
+        service_hints: hints(&[("concurrency", &workers.to_string())]),
+        functions: vec![
+            ("frag".to_string(), HintBlock::default()),
+            (
+                "frag_small".to_string(),
+                hints(&[
+                    ("perf_goal", "latency"),
+                    ("payload_size", "4K"),
+                    ("numa_binding", "true"),
+                ]),
+            ),
+            (
+                "frag_bulk".to_string(),
+                hints(&[
+                    ("perf_goal", "throughput"),
+                    ("payload_size", "512K"),
+                    ("numa_binding", "true"),
+                ]),
+            ),
+            ("ctl".to_string(), hints(&[("transport", "tcp"), ("payload_size", "64")])),
+        ],
+    }
+}
+
+/// Build the worker-side router: executes fragment requests against the
+/// worker's partition.
+fn worker_router(partition: Arc<Partition>) -> Router {
+    let queries = Arc::new(all_queries());
+
+    fn exec(
+        input: &mut hatrpc_core::protocol::binary::BinaryIn<'_>,
+        output: &mut hatrpc_core::protocol::binary::BinaryOut,
+        partition: &Partition,
+        queries: &[QueryDef],
+    ) -> Result<()> {
+        input.read_struct_begin()?;
+        let mut blob = Vec::new();
+        loop {
+            let (fty, fid) = input.read_field_begin()?;
+            if fty == TType::Stop {
+                break;
+            }
+            if fid == 1 {
+                blob = input.read_binary()?;
+            } else {
+                input.skip(fty)?;
+            }
+        }
+        input.read_struct_end()?;
+        let qid = *blob.first().unwrap_or(&0);
+        let query = queries
+            .iter()
+            .find(|q| q.id == qid)
+            .ok_or_else(|| hatrpc_core::CoreError::Application(format!("unknown query {qid}")))?;
+        let broadcast = decode_groups(&blob[1..]);
+        let partial = encode_groups(&(query.map)(partition, &broadcast));
+        output.write_struct_begin("result");
+        output.write_field_begin(TType::String, 0);
+        output.write_binary(&partial);
+        output.write_field_end();
+        output.write_field_stop();
+        output.write_struct_end();
+        Ok(())
+    }
+
+    let mk = |partition: Arc<Partition>, queries: Arc<Vec<QueryDef>>| {
+        move |i: &mut hatrpc_core::protocol::binary::BinaryIn<'_>,
+              o: &mut hatrpc_core::protocol::binary::BinaryOut| exec(i, o, &partition, &queries)
+    };
+    Router::new()
+        .add("frag", mk(partition.clone(), queries.clone()))
+        .add("frag_small", mk(partition.clone(), queries.clone()))
+        .add("frag_bulk", mk(partition.clone(), queries.clone()))
+        .add("ctl", |input, output| {
+            // Tiny prepare/ack control message.
+            input.read_struct_begin()?;
+            loop {
+                let (fty, _) = input.read_field_begin()?;
+                if fty == TType::Stop {
+                    break;
+                }
+                input.skip(fty)?;
+            }
+            output.write_struct_begin("result");
+            output.write_field_begin(TType::String, 0);
+            output.write_binary(b"ok");
+            output.write_field_end();
+            output.write_field_stop();
+            output.write_struct_end();
+            Ok(())
+        })
+}
+
+enum WorkerServer {
+    Hat(HatServer),
+    Ipoib {
+        shutdown: Arc<std::sync::atomic::AtomicBool>,
+        thread: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+enum Conn {
+    Hat(HatClient),
+    Ipoib(TSocket),
+}
+
+impl Conn {
+    fn call(&mut self, method: &str, seq: i32, blob: &[u8]) -> Result<Vec<u8>> {
+        let request = encode_call(method, seq, |out| {
+            out.write_struct_begin("args");
+            out.write_field_begin(TType::String, 1);
+            out.write_binary(blob);
+            out.write_field_end();
+            out.write_field_stop();
+            out.write_struct_end();
+        });
+        let reply = match self {
+            Conn::Hat(c) => c.call(method, &request)?,
+            Conn::Ipoib(c) => c.call(method, &request)?,
+        };
+        decode_reply(&reply, seq, |input| {
+            input.read_struct_begin()?;
+            let mut blob = Vec::new();
+            loop {
+                let (fty, fid) = input.read_field_begin()?;
+                if fty == TType::Stop {
+                    break;
+                }
+                if fid == 0 {
+                    blob = input.read_binary()?;
+                } else {
+                    input.skip(fty)?;
+                }
+            }
+            Ok(blob)
+        })
+    }
+}
+
+/// A running TPC-H cluster: coordinator-resident dimensions, worker
+/// partitions behind RPC, per-worker connections.
+pub struct TpchCluster {
+    dims: Dataset,
+    servers: Vec<WorkerServer>,
+    conns: Vec<Conn>,
+    mode: TransportMode,
+    fabric: Fabric,
+    seq: i32,
+}
+
+impl TpchCluster {
+    /// Generate data, start one worker server per partition, and connect
+    /// the coordinator to each.
+    pub fn start(fabric: &Fabric, cfg: &ClusterConfig, mode: TransportMode) -> TpchCluster {
+        let dataset = crate::dbgen::generate(cfg.sf, cfg.workers, cfg.seed);
+        let coord: Arc<Node> = fabric.add_node("tpch-coordinator");
+        let mut servers = Vec::new();
+        let mut conns = Vec::new();
+        for (w, partition) in dataset.partitions.iter().enumerate() {
+            let wnode = fabric.add_node(&format!("tpch-worker{w}"));
+            let service = format!("tpch/{w}");
+            let partition = Arc::new(partition.clone());
+            match mode {
+                TransportMode::Ipoib => {
+                    let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+                    let listener = fabric.listen_ipoib(&wnode, &service);
+                    let flag = shutdown.clone();
+                    let part = partition.clone();
+                    let thread = std::thread::spawn(move || {
+                        let mut conns = Vec::new();
+                        while !flag.load(std::sync::atomic::Ordering::Acquire) {
+                            let Ok(stream) =
+                                listener.accept_timeout(std::time::Duration::from_millis(50))
+                            else {
+                                continue;
+                            };
+                            let part = part.clone();
+                            conns.push(std::thread::spawn(move || {
+                                let mut server = TServerSocket::from_stream(stream);
+                                let mut router = worker_router(part);
+                                let _ = server.serve_loop(&mut |req| router.handle(req));
+                            }));
+                        }
+                        for c in conns {
+                            let _ = c.join();
+                        }
+                    });
+                    servers.push(WorkerServer::Ipoib { shutdown, thread: Some(thread) });
+                    conns.push(Conn::Ipoib(
+                        TSocket::dial(fabric, &coord, &service).expect("worker listening"),
+                    ));
+                }
+                TransportMode::HatRpcService | TransportMode::HatRpcFunction => {
+                    let schema = match mode {
+                        TransportMode::HatRpcService => service_schema(cfg.workers),
+                        _ => function_schema(cfg.workers),
+                    };
+                    let part = partition.clone();
+                    let server = HatServer::serve(
+                        fabric,
+                        &wnode,
+                        &service,
+                        schema.clone(),
+                        ServerPolicy::Threaded,
+                        Arc::new(move || {
+                            let mut router = worker_router(part.clone());
+                            Box::new(move |req: &[u8]| router.handle(req))
+                        }),
+                    );
+                    servers.push(WorkerServer::Hat(server));
+                    conns.push(Conn::Hat(HatClient::new(fabric, &coord, &service, &schema)));
+                }
+            }
+        }
+        let dims = Dataset {
+            customers: dataset.customers,
+            parts: dataset.parts,
+            suppliers: dataset.suppliers,
+            partitions: Vec::new(),
+        };
+        let mut cluster =
+            TpchCluster { dims, servers, conns, mode, fabric: fabric.clone(), seq: 0 };
+        // HatRPC-Function's hybrid transport (§5.5): session-setup control
+        // traffic rides the TCP-hinted `ctl` function, keeping the RDMA
+        // channels for data. Done once at cluster start, off the query
+        // critical path.
+        if mode == TransportMode::HatRpcFunction {
+            for conn in &mut cluster.conns {
+                let _ = conn.call("ctl", 0, b"prepare");
+            }
+        }
+        cluster
+    }
+
+    /// Workers in the cluster.
+    pub fn workers(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Execute one query distributed; returns the result and wall time.
+    pub fn run_query(&mut self, query: &QueryDef) -> Result<(QueryResult, u64)> {
+        let t0 = now_ns();
+        let broadcast = (query.broadcast)(&self.dims);
+        let mut blob = Vec::with_capacity(1 + broadcast.len() * 40);
+        blob.push(query.id);
+        blob.extend_from_slice(&encode_groups(&broadcast));
+        let method = match (self.mode, query.class) {
+            (TransportMode::HatRpcFunction, ExchangeClass::Small) => "frag_small",
+            (TransportMode::HatRpcFunction, ExchangeClass::Bulk) => "frag_bulk",
+            _ => "frag",
+        };
+        self.seq += 1;
+        let seq = self.seq;
+
+        // Fan out to all workers concurrently.
+        let partials: Vec<crate::queries::Groups> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for conn in &mut self.conns {
+                let blob = &blob;
+                handles.push(scope.spawn(move || -> Result<crate::queries::Groups> {
+                    let bytes = conn.call(method, seq, blob)?;
+                    Ok(decode_groups(&bytes))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker exchange thread"))
+                .collect::<Result<Vec<_>>>()
+        })?;
+
+        let result = query.reduce(&partials);
+        Ok((result, now_ns() - t0))
+    }
+
+    /// Run all 22 queries; returns `(query id, result, wall ns)` rows.
+    ///
+    /// Each query runs twice and reports the faster pass: the first pass
+    /// pays one-off channel establishment (per-worker handshakes, buffer
+    /// registration) and, on busy hosts, scheduler noise that would
+    /// otherwise dominate sub-millisecond queries.
+    pub fn run_all(&mut self) -> Result<Vec<(u8, QueryResult, u64)>> {
+        let mut out = Vec::with_capacity(22);
+        for q in all_queries() {
+            let (result, first) = self.run_query(&q)?;
+            let (_, second) = self.run_query(&q)?;
+            out.push((q.id, result, first.min(second)));
+        }
+        Ok(out)
+    }
+
+    /// Stop all worker servers.
+    pub fn shutdown(self) {
+        drop(self.conns);
+        for s in self.servers {
+            match s {
+                WorkerServer::Hat(h) => h.shutdown(),
+                WorkerServer::Ipoib { shutdown, mut thread } => {
+                    shutdown.store(true, std::sync::atomic::Ordering::Release);
+                    if let Some(t) = thread.take() {
+                        let _ = t.join();
+                    }
+                }
+            }
+        }
+        let _ = self.fabric;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hat_rdma_sim::SimConfig;
+
+    fn small_cfg() -> ClusterConfig {
+        ClusterConfig { sf: 0.002, workers: 3, seed: 13 }
+    }
+
+    #[test]
+    fn distributed_results_match_reference_over_every_transport() {
+        let cfg = small_cfg();
+        let reference = {
+            let ds = crate::dbgen::generate(cfg.sf, cfg.workers, cfg.seed);
+            all_queries().iter().map(|q| q.run_local(&ds)).collect::<Vec<_>>()
+        };
+        for mode in
+            [TransportMode::Ipoib, TransportMode::HatRpcService, TransportMode::HatRpcFunction]
+        {
+            let fabric = Fabric::new(SimConfig::fast_test());
+            let mut cluster = TpchCluster::start(&fabric, &cfg, mode);
+            // Spot-check a small-class and a bulk-class query per mode
+            // (full 22×3 sweeps run in the repro harness).
+            for q in all_queries().iter().filter(|q| [1, 3, 19].contains(&q.id)) {
+                let (result, _) = cluster.run_query(q).unwrap();
+                let expect = &reference[(q.id - 1) as usize];
+                assert_eq!(result.rows.len(), expect.rows.len(), "Q{} {}", q.id, mode.label());
+                let (a, b) = (result.fingerprint(), expect.fingerprint());
+                assert!(
+                    (a - b).abs() <= (a.abs() + b.abs()) * 1e-9 + 1e-9,
+                    "Q{} {}: {a} vs {b}",
+                    q.id,
+                    mode.label()
+                );
+            }
+            cluster.shutdown();
+        }
+    }
+
+    #[test]
+    fn function_mode_routes_by_exchange_class() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let mut cluster =
+            TpchCluster::start(&fabric, &small_cfg(), TransportMode::HatRpcFunction);
+        let qs = all_queries();
+        let q1 = qs.iter().find(|q| q.id == 1).unwrap();
+        let q19 = qs.iter().find(|q| q.id == 19).unwrap();
+        cluster.run_query(q1).unwrap();
+        cluster.run_query(q19).unwrap();
+        if let Conn::Hat(c) = &cluster.conns[0] {
+            use hat_protocols::ProtocolKind;
+            assert_eq!(c.selection_for("frag_small").protocol, ProtocolKind::DirectWriteImm);
+            assert_eq!(c.selection_for("frag_bulk").protocol, ProtocolKind::DirectWriteImm);
+            // ctl + small + bulk channels all open and isolated.
+            assert!(c.open_channels() >= 3, "open {}", c.open_channels());
+        } else {
+            panic!("expected engine connection");
+        }
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic TPC-H-shaped data generation (the `dbgen` substitute).
+//!
+//! Row counts scale with the TPC-H scale factor: SF1 is 6 M lineitems,
+//! 1.5 M orders, 150 K customers, 200 K parts, 10 K suppliers, 800 K
+//! partsupps. Column distributions follow dbgen's: 1–7 lineitems per
+//! order, quantities 1–50, discounts 0–10%, dates uniform over 1992–1998
+//! with receipt/commit offsets, etc. Everything is seeded, so a given
+//! `(sf, workers, seed)` triple always produces the same database.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schema::*;
+
+/// Generate a dataset at scale factor `sf`, partitioned for `workers`.
+pub fn generate(sf: f64, workers: usize, seed: u64) -> Dataset {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let workers = workers.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n_orders = ((1_500_000.0 * sf) as usize).max(workers * 8);
+    let n_customers = ((150_000.0 * sf) as usize).max(32);
+    let n_parts = ((200_000.0 * sf) as usize).max(32);
+    let n_suppliers = ((10_000.0 * sf) as usize).max(8);
+    let n_partsupp = ((800_000.0 * sf) as usize).max(64);
+
+    let customers: Vec<Customer> = (0..n_customers as u32)
+        .map(|custkey| Customer {
+            custkey,
+            nationkey: rng.random_range(0..NATIONS),
+            mktsegment: rng.random_range(0..5),
+            acctbal: rng.random_range(-999.99..9999.99),
+            phone_prefix: rng.random_range(10..35),
+        })
+        .collect();
+
+    let parts: Vec<Part> = (0..n_parts as u32)
+        .map(|partkey| Part {
+            partkey,
+            brand: rng.random_range(0..25),
+            type_code: rng.random_range(0..150),
+            size: rng.random_range(1..=50),
+            container: rng.random_range(0..40),
+            retailprice: 900.0 + (partkey % 1000) as f64 * 0.1 + rng.random_range(0.0..100.0),
+        })
+        .collect();
+
+    let suppliers: Vec<Supplier> = (0..n_suppliers as u32)
+        .map(|suppkey| Supplier {
+            suppkey,
+            nationkey: rng.random_range(0..NATIONS),
+            acctbal: rng.random_range(-999.99..9999.99),
+        })
+        .collect();
+
+    let mut partitions: Vec<Partition> = (0..workers).map(|_| Partition::default()).collect();
+
+    // Orders + their lineitems, co-partitioned by order key.
+    const MAX_DATE: u16 = 7 * 365 - 32;
+    for orderkey in 0..n_orders as u64 {
+        let w = (orderkey % workers as u64) as usize;
+        let orderdate: u16 = rng.random_range(0..MAX_DATE - 122);
+        let lines = rng.random_range(1..=7usize);
+        let mut total = 0.0;
+        for _ in 0..lines {
+            let quantity = rng.random_range(1..=50) as f64;
+            let partkey: u32 = rng.random_range(0..n_parts as u32);
+            let base = 900.0 + (partkey % 1000) as f64 * 0.1;
+            let extendedprice = quantity * base;
+            let shipdate = orderdate + rng.random_range(1..=121);
+            let commitdate = orderdate + rng.random_range(30..=90);
+            let receiptdate = shipdate + rng.random_range(1..=30);
+            total += extendedprice;
+            partitions[w].lineitem.push(Lineitem {
+                orderkey,
+                partkey,
+                suppkey: rng.random_range(0..n_suppliers as u32),
+                quantity,
+                extendedprice,
+                discount: rng.random_range(0..=10) as f64 / 100.0,
+                tax: rng.random_range(0..=8) as f64 / 100.0,
+                returnflag: *[b'A', b'N', b'R'].get(rng.random_range(0..3)).expect("3 flags"),
+                linestatus: if shipdate > 6 * 365 / 2 { b'O' } else { b'F' },
+                shipdate,
+                commitdate,
+                receiptdate,
+                shipmode: rng.random_range(0..7),
+                shipinstruct: rng.random_range(0..4),
+            });
+        }
+        partitions[w].orders.push(Order {
+            orderkey,
+            custkey: rng.random_range(0..n_customers as u32),
+            orderstatus: if rng.random_bool(0.5) { b'F' } else { b'O' },
+            totalprice: total,
+            orderdate,
+            orderpriority: rng.random_range(0..5),
+        });
+    }
+
+    // partsupp, round-robin partitioned.
+    for i in 0..n_partsupp {
+        let w = i % workers;
+        partitions[w].partsupp.push(PartSupp {
+            partkey: rng.random_range(0..n_parts as u32),
+            suppkey: rng.random_range(0..n_suppliers as u32),
+            availqty: rng.random_range(1..10_000),
+            supplycost: rng.random_range(1.0..1000.0),
+        });
+    }
+
+    Dataset { customers, parts, suppliers, partitions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(0.001, 3, 42);
+        let b = generate(0.001, 3, 42);
+        assert_eq!(a.partitions[0].lineitem, b.partitions[0].lineitem);
+        assert_eq!(a.customers, b.customers);
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let small = generate(0.001, 2, 1);
+        let large = generate(0.004, 2, 1);
+        assert!(large.fact_rows() > small.fact_rows() * 3);
+    }
+
+    #[test]
+    fn lineitem_and_orders_are_copartitioned() {
+        let ds = generate(0.002, 4, 7);
+        for (w, p) in ds.partitions.iter().enumerate() {
+            for o in &p.orders {
+                assert_eq!(o.orderkey % 4, w as u64);
+            }
+            for l in &p.lineitem {
+                assert_eq!(l.orderkey % 4, w as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn orders_have_one_to_seven_lineitems() {
+        let ds = generate(0.002, 1, 9);
+        let p = &ds.partitions[0];
+        let mut counts = std::collections::HashMap::new();
+        for l in &p.lineitem {
+            *counts.entry(l.orderkey).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), p.orders.len());
+        assert!(counts.values().all(|&c| (1..=7).contains(&c)));
+    }
+
+    #[test]
+    fn column_domains_are_valid() {
+        let ds = generate(0.001, 2, 3);
+        for p in &ds.partitions {
+            for l in &p.lineitem {
+                assert!((1.0..=50.0).contains(&l.quantity));
+                assert!((0.0..=0.10).contains(&l.discount));
+                assert!(l.receiptdate > l.shipdate);
+                assert!(matches!(l.returnflag, b'A' | b'N' | b'R'));
+            }
+        }
+        for c in &ds.customers {
+            assert!(c.nationkey < NATIONS);
+            assert!(c.mktsegment < 5);
+        }
+        for part in &ds.parts {
+            assert!((1..=50).contains(&part.size));
+        }
+    }
+}

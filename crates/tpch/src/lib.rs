@@ -1,0 +1,38 @@
+//! # hat-tpch — TPC-H workload substrate for the §5.5 evaluation
+//!
+//! The paper applies HatRPC to a commercial distributed database and runs
+//! the 22 TPC-H queries at SF1000, comparing Thrift-over-IPoIB,
+//! HatRPC-Service, and HatRPC-Function transports (Figure 17). The
+//! commercial engine is unavailable, so this crate builds the closest
+//! open equivalent:
+//!
+//! * [`dbgen`] — a deterministic TPC-H-shaped data generator (lineitem,
+//!   orders, customer, part, supplier, partsupp, nation) at configurable
+//!   scale factor,
+//! * [`queries`] — simplified but *real* implementations of all 22
+//!   queries as two-phase map/reduce plans: the coordinator broadcasts
+//!   filtered dimension data, workers scan/join/aggregate their fact
+//!   partitions, and partial results flow back — so each query has its
+//!   authentic exchange profile (Q1/Q6 tiny partials; Q17/Q19 heavy
+//!   broadcasts; Q10/Q13/Q18 heavy partials),
+//! * [`cluster`] — a coordinator + N worker deployment where every
+//!   exchange rides a pluggable transport: vanilla Thrift/IPoIB,
+//!   HatRPC-Service (service-level hints only), or HatRPC-Function
+//!   (per-fragment-class hints plus NUMA binding and hybrid transports,
+//!   as §5.5 describes).
+//!
+//! What the substitution preserves: Figure 17's shape is driven by how
+//! much of each query's wall time is RPC data exchange and how well the
+//! transport matches each exchange's size/latency profile — both of which
+//! this engine reproduces. Absolute times are simulator-scale, not
+//! SF1000-testbed-scale.
+
+pub mod cluster;
+pub mod dbgen;
+pub mod queries;
+pub mod schema;
+
+pub use cluster::{ClusterConfig, TpchCluster, TransportMode};
+pub use dbgen::generate;
+pub use queries::{all_queries, QueryResult};
+pub use schema::{Dataset, Partition};

@@ -1,0 +1,1007 @@
+//! The 22 TPC-H queries as two-phase distributed plans.
+//!
+//! Every query is a [`QueryDef`] with three stages:
+//!
+//! 1. **broadcast** — the coordinator filters its dimension tables
+//!    (customer/part/supplier/nation) into a compact key→attributes map
+//!    shipped to every worker (empty for pure fact-table queries),
+//! 2. **map** — each worker scans/joins/aggregates its co-partitioned
+//!    `lineitem`/`orders`/`partsupp` partition into a grouped partial,
+//! 3. **reduce** — the coordinator merges partials (sum or min per
+//!    group) and post-filters (top-N, having-clauses).
+//!
+//! Groups and partials share one codec — `group key (u64)` → four `f64`
+//! accumulator slots — so every exchange payload is measurable and the
+//! distributed result provably equals a single-partition reference run
+//! (see the tests). The queries keep TPC-H's *exchange profile*: Q1/Q6
+//! ship tiny aggregates, Q19's predicate pushes a large part-attribute
+//! broadcast, Q10/Q13/Q18 return heavy per-customer/order partials.
+
+use std::collections::BTreeMap;
+
+use crate::schema::*;
+
+/// A group accumulator: key → 4 slots.
+pub type Groups = BTreeMap<u64, [f64; 4]>;
+
+/// Serialize a group map (8-byte key + 4×8-byte slots per entry).
+pub fn encode_groups(m: &Groups) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + m.len() * 40);
+    out.extend_from_slice(&(m.len() as u64).to_le_bytes());
+    for (k, slots) in m {
+        out.extend_from_slice(&k.to_le_bytes());
+        for s in slots {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_groups`]. Malformed input yields an empty map.
+pub fn decode_groups(b: &[u8]) -> Groups {
+    let mut m = Groups::new();
+    if b.len() < 8 {
+        return m;
+    }
+    let n = u64::from_le_bytes(b[..8].try_into().expect("8B")) as usize;
+    let mut pos = 8;
+    for _ in 0..n {
+        if pos + 40 > b.len() {
+            break;
+        }
+        let k = u64::from_le_bytes(b[pos..pos + 8].try_into().expect("8B"));
+        let mut slots = [0.0; 4];
+        for (i, s) in slots.iter_mut().enumerate() {
+            let off = pos + 8 + i * 8;
+            *s = f64::from_le_bytes(b[off..off + 8].try_into().expect("8B"));
+        }
+        m.insert(k, slots);
+        pos += 40;
+    }
+    m
+}
+
+/// Add `slots` into `m[k]`.
+pub fn accumulate(m: &mut Groups, k: u64, slots: [f64; 4]) {
+    let e = m.entry(k).or_insert([0.0; 4]);
+    for (a, b) in e.iter_mut().zip(slots) {
+        *a += b;
+    }
+}
+
+/// How partials merge at the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Merge {
+    /// Per-slot sum (aggregations).
+    Sum,
+    /// Slot 0 is a minimum; the rest sum (Q2-style).
+    MinSlot0,
+}
+
+/// Exchange intensity class — what the HatRPC-Function transport keys its
+/// per-fragment hints on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeClass {
+    /// Tiny broadcast + tiny partial: latency-bound control exchange.
+    Small,
+    /// Large broadcast and/or large partial: bandwidth-bound exchange.
+    Bulk,
+}
+
+/// One TPC-H query plan.
+pub struct QueryDef {
+    /// TPC-H query number (1..=22).
+    pub id: u8,
+    /// Short name.
+    pub name: &'static str,
+    /// Exchange class (drives the HatRPC-Function hint choice).
+    pub class: ExchangeClass,
+    /// Merge mode at the coordinator.
+    pub merge: Merge,
+    /// Keep only the top-N groups by slot 0 after merging (0 = all).
+    pub top_n: usize,
+    /// Coordinator: dimension filter → broadcast bytes.
+    pub broadcast: fn(&Dataset) -> Groups,
+    /// Worker: partition × broadcast → partial groups.
+    pub map: fn(&Partition, &Groups) -> Groups,
+}
+
+/// Final query output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Query number.
+    pub id: u8,
+    /// Merged, post-processed (group, slots) rows, sorted by key.
+    pub rows: Vec<(u64, [f64; 4])>,
+}
+
+impl QueryResult {
+    /// A scalar fingerprint (Σ slot0) used for cross-run comparisons.
+    pub fn fingerprint(&self) -> f64 {
+        self.rows.iter().map(|(_, s)| s[0]).sum()
+    }
+}
+
+impl QueryDef {
+    /// Merge partials and post-process into the final result.
+    pub fn reduce(&self, partials: &[Groups]) -> QueryResult {
+        let mut merged = Groups::new();
+        for p in partials {
+            for (k, slots) in p {
+                match self.merge {
+                    Merge::Sum => accumulate(&mut merged, *k, *slots),
+                    Merge::MinSlot0 => {
+                        let e = merged.entry(*k).or_insert([f64::INFINITY, 0.0, 0.0, 0.0]);
+                        e[0] = e[0].min(slots[0]);
+                        for i in 1..4 {
+                            e[i] += slots[i];
+                        }
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<(u64, [f64; 4])> = merged.into_iter().collect();
+        if self.top_n > 0 && rows.len() > self.top_n {
+            rows.sort_by(|a, b| b.1[0].partial_cmp(&a.1[0]).expect("finite"));
+            rows.truncate(self.top_n);
+            rows.sort_by_key(|(k, _)| *k);
+        }
+        QueryResult { id: self.id, rows }
+    }
+
+    /// Run the whole query locally (reference executor for tests).
+    pub fn run_local(&self, ds: &Dataset) -> QueryResult {
+        let broadcast = (self.broadcast)(ds);
+        let partials: Vec<Groups> =
+            ds.partitions.iter().map(|p| (self.map)(p, &broadcast)).collect();
+        self.reduce(&partials)
+    }
+}
+
+fn no_broadcast(_: &Dataset) -> Groups {
+    Groups::new()
+}
+
+/// revenue = extendedprice * (1 - discount)
+fn rev(l: &Lineitem) -> f64 {
+    l.extendedprice * (1.0 - l.discount)
+}
+
+/// Deterministic per-(part, supplier) supply cost in [1, 1001) — a
+/// partition-independent stand-in for the partsupp catalog (Q9 needs
+/// cost lookups for lineitems whose partsupp row may live on any
+/// worker).
+fn catalog_supplycost(partkey: u32, suppkey: u32) -> f64 {
+    let mut h = (partkey as u64) << 32 | suppkey as u64;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    1.0 + (h % 100_000) as f64 / 100.0
+}
+
+/// All 22 query plans.
+pub fn all_queries() -> Vec<QueryDef> {
+    vec![
+        // Q1: pricing summary report. Group by (returnflag, linestatus).
+        QueryDef {
+            id: 1,
+            name: "pricing-summary",
+            class: ExchangeClass::Small,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: no_broadcast,
+            map: |p, _| {
+                let cutoff = year_start(1998) + 243;
+                let mut g = Groups::new();
+                for l in p.lineitem.iter().filter(|l| l.shipdate <= cutoff) {
+                    let key = ((l.returnflag as u64) << 8) | l.linestatus as u64;
+                    accumulate(&mut g, key, [l.quantity, l.extendedprice, rev(l), 1.0]);
+                }
+                g
+            },
+        },
+        // Q2: minimum-cost supplier for mid-size brass-class parts in one
+        // region. Broadcast: qualifying partkeys; partial: min supplycost.
+        QueryDef {
+            id: 2,
+            name: "min-cost-supplier",
+            class: ExchangeClass::Bulk,
+            merge: Merge::MinSlot0,
+            top_n: 100,
+            broadcast: |ds| {
+                let region_sups: std::collections::BTreeSet<u32> = ds
+                    .suppliers
+                    .iter()
+                    .filter(|s| region_of(s.nationkey) == 3)
+                    .map(|s| s.suppkey)
+                    .collect();
+                let mut g = Groups::new();
+                for part in ds.parts.iter().filter(|p| p.size == 15 && p.type_code % 5 == 0) {
+                    g.insert(part.partkey as u64, [0.0; 4]);
+                }
+                // Encode qualifying suppliers under a disjoint key space.
+                for s in region_sups {
+                    g.insert((1 << 40) | s as u64, [0.0; 4]);
+                }
+                g
+            },
+            map: |p, bc| {
+                let mut g = Groups::new();
+                for ps in &p.partsupp {
+                    if bc.contains_key(&(ps.partkey as u64))
+                        && bc.contains_key(&((1 << 40) | ps.suppkey as u64))
+                    {
+                        let e = g
+                            .entry(ps.partkey as u64)
+                            .or_insert([f64::INFINITY, 0.0, 0.0, 0.0]);
+                        e[0] = e[0].min(ps.supplycost);
+                        e[3] += 1.0;
+                    }
+                }
+                g
+            },
+        },
+        // Q3: shipping priority — top unshipped orders by revenue for one
+        // market segment. Broadcast: segment custkeys; partial: per-order
+        // revenue (heavy).
+        QueryDef {
+            id: 3,
+            name: "shipping-priority",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 10,
+            broadcast: |ds| {
+                ds.customers
+                    .iter()
+                    .filter(|c| c.mktsegment == 1)
+                    .map(|c| (c.custkey as u64, [0.0; 4]))
+                    .collect()
+            },
+            map: |p, bc| {
+                let date = year_start(1995) + 74;
+                let mut g = Groups::new();
+                let open: std::collections::HashMap<u64, ()> = p
+                    .orders
+                    .iter()
+                    .filter(|o| o.orderdate < date && bc.contains_key(&(o.custkey as u64)))
+                    .map(|o| (o.orderkey, ()))
+                    .collect();
+                for l in p.lineitem.iter().filter(|l| l.shipdate > date) {
+                    if open.contains_key(&l.orderkey) {
+                        accumulate(&mut g, l.orderkey, [rev(l), 0.0, 0.0, 1.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q4: order priority checking — orders with at least one late
+        // lineitem, counted by priority. Local join (co-partitioned).
+        QueryDef {
+            id: 4,
+            name: "order-priority",
+            class: ExchangeClass::Small,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: no_broadcast,
+            map: |p, _| {
+                let lo = year_start(1993) + 182;
+                let hi = lo + 91;
+                let late: std::collections::HashSet<u64> = p
+                    .lineitem
+                    .iter()
+                    .filter(|l| l.commitdate < l.receiptdate)
+                    .map(|l| l.orderkey)
+                    .collect();
+                let mut g = Groups::new();
+                for o in &p.orders {
+                    if o.orderdate >= lo && o.orderdate < hi && late.contains(&o.orderkey) {
+                        accumulate(&mut g, o.orderpriority as u64, [1.0, 0.0, 0.0, 0.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q5: local supplier volume — revenue by nation for one region and
+        // year. Broadcast: region customers (with nation) + suppliers.
+        QueryDef {
+            id: 5,
+            name: "local-supplier-volume",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: |ds| {
+                let mut g = Groups::new();
+                for c in ds.customers.iter().filter(|c| region_of(c.nationkey) == 2) {
+                    g.insert(c.custkey as u64, [c.nationkey as f64, 0.0, 0.0, 0.0]);
+                }
+                for s in ds.suppliers.iter().filter(|s| region_of(s.nationkey) == 2) {
+                    g.insert((1 << 40) | s.suppkey as u64, [s.nationkey as f64, 0.0, 0.0, 0.0]);
+                }
+                g
+            },
+            map: |p, bc| {
+                let lo = year_start(1994);
+                let hi = year_start(1995);
+                let mut order_nation: std::collections::HashMap<u64, u8> = Default::default();
+                for o in &p.orders {
+                    if o.orderdate >= lo && o.orderdate < hi {
+                        if let Some(slots) = bc.get(&(o.custkey as u64)) {
+                            order_nation.insert(o.orderkey, slots[0] as u8);
+                        }
+                    }
+                }
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    let Some(&cnation) = order_nation.get(&l.orderkey) else { continue };
+                    let Some(s_slots) = bc.get(&((1 << 40) | l.suppkey as u64)) else { continue };
+                    // TPC-H: customer and supplier in the same nation.
+                    if s_slots[0] as u8 == cnation {
+                        accumulate(&mut g, cnation as u64, [rev(l), 0.0, 0.0, 1.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q6: forecasting revenue change — pure lineitem filter/aggregate.
+        QueryDef {
+            id: 6,
+            name: "forecast-revenue",
+            class: ExchangeClass::Small,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: no_broadcast,
+            map: |p, _| {
+                let lo = year_start(1994);
+                let hi = year_start(1995);
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    if l.shipdate >= lo
+                        && l.shipdate < hi
+                        && (0.05..=0.07).contains(&l.discount)
+                        && l.quantity < 24.0
+                    {
+                        accumulate(&mut g, 0, [l.extendedprice * l.discount, 0.0, 0.0, 1.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q7: volume shipping between two nations, by year.
+        QueryDef {
+            id: 7,
+            name: "volume-shipping",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: |ds| {
+                let mut g = Groups::new();
+                for c in ds.customers.iter().filter(|c| c.nationkey == 6 || c.nationkey == 7) {
+                    g.insert(c.custkey as u64, [c.nationkey as f64, 0.0, 0.0, 0.0]);
+                }
+                for s in ds.suppliers.iter().filter(|s| s.nationkey == 6 || s.nationkey == 7) {
+                    g.insert((1 << 40) | s.suppkey as u64, [s.nationkey as f64, 0.0, 0.0, 0.0]);
+                }
+                g
+            },
+            map: |p, bc| {
+                let lo = year_start(1995);
+                let mut order_cnation: std::collections::HashMap<u64, u8> = Default::default();
+                for o in &p.orders {
+                    if let Some(slots) = bc.get(&(o.custkey as u64)) {
+                        order_cnation.insert(o.orderkey, slots[0] as u8);
+                    }
+                }
+                let mut g = Groups::new();
+                for l in p.lineitem.iter().filter(|l| l.shipdate >= lo) {
+                    let Some(&cn) = order_cnation.get(&l.orderkey) else { continue };
+                    let Some(s_slots) = bc.get(&((1 << 40) | l.suppkey as u64)) else { continue };
+                    let sn = s_slots[0] as u8;
+                    if (cn == 6 && sn == 7) || (cn == 7 && sn == 6) {
+                        let key = ((sn as u64) << 32) | year_of(l.shipdate) as u64;
+                        accumulate(&mut g, key, [rev(l), 0.0, 0.0, 1.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q8: national market share for one part type in one region.
+        QueryDef {
+            id: 8,
+            name: "market-share",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: |ds| {
+                let mut g = Groups::new();
+                for part in ds.parts.iter().filter(|p| p.type_code == 103) {
+                    g.insert(part.partkey as u64, [0.0; 4]);
+                }
+                for c in ds.customers.iter().filter(|c| region_of(c.nationkey) == 1) {
+                    g.insert((1 << 40) | c.custkey as u64, [0.0; 4]);
+                }
+                for s in &ds.suppliers {
+                    g.insert((2 << 40) | s.suppkey as u64, [s.nationkey as f64, 0.0, 0.0, 0.0]);
+                }
+                g
+            },
+            map: |p, bc| {
+                let lo = year_start(1995);
+                let hi = year_start(1997);
+                let region_orders: std::collections::HashSet<u64> = p
+                    .orders
+                    .iter()
+                    .filter(|o| {
+                        o.orderdate >= lo
+                            && o.orderdate < hi
+                            && bc.contains_key(&((1 << 40) | o.custkey as u64))
+                    })
+                    .map(|o| o.orderkey)
+                    .collect();
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    if bc.contains_key(&(l.partkey as u64)) && region_orders.contains(&l.orderkey)
+                    {
+                        let nation = bc
+                            .get(&((2 << 40) | l.suppkey as u64))
+                            .map_or(0.0, |s| s[0]) as u64;
+                        // slot0: revenue from the target nation (nation 9);
+                        // slot1: total revenue — market share = s0/s1.
+                        let r = rev(l);
+                        let target = if nation == 9 { r } else { 0.0 };
+                        accumulate(&mut g, year_of(l.shipdate) as u64, [target, r, 0.0, 1.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q9: product-type profit by nation and year.
+        QueryDef {
+            id: 9,
+            name: "product-profit",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: |ds| {
+                let mut g = Groups::new();
+                // "green" parts: one of the 150 type codes' families.
+                for part in ds.parts.iter().filter(|p| p.type_code % 10 == 4) {
+                    g.insert(part.partkey as u64, [0.0; 4]);
+                }
+                for s in &ds.suppliers {
+                    g.insert((1 << 40) | s.suppkey as u64, [s.nationkey as f64, 0.0, 0.0, 0.0]);
+                }
+                g
+            },
+            map: |p, bc| {
+                let order_year: std::collections::HashMap<u64, u32> =
+                    p.orders.iter().map(|o| (o.orderkey, year_of(o.orderdate))).collect();
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    if !bc.contains_key(&(l.partkey as u64)) {
+                        continue;
+                    }
+                    let Some(s_slots) = bc.get(&((1 << 40) | l.suppkey as u64)) else { continue };
+                    // Supply cost comes from a deterministic catalog
+                    // function of (part, supplier): `partsupp` rows are
+                    // partitioned arbitrarily, so a worker-local table
+                    // lookup would make the result depend on the
+                    // partitioning — breaking the distributed-equals-
+                    // reference invariant every query must satisfy.
+                    let supplycost = catalog_supplycost(l.partkey, l.suppkey);
+                    let profit = rev(l) - supplycost * l.quantity;
+                    let year = order_year.get(&l.orderkey).copied().unwrap_or(1992) as u64;
+                    let key = ((s_slots[0] as u64) << 32) | year;
+                    accumulate(&mut g, key, [profit, 0.0, 0.0, 1.0]);
+                }
+                g
+            },
+        },
+        // Q10: returned-item reporting — revenue lost per customer (top 20).
+        QueryDef {
+            id: 10,
+            name: "returned-items",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 20,
+            broadcast: no_broadcast,
+            map: |p, _| {
+                let lo = year_start(1993) + 273;
+                let hi = lo + 91;
+                let window: std::collections::HashMap<u64, u32> = p
+                    .orders
+                    .iter()
+                    .filter(|o| o.orderdate >= lo && o.orderdate < hi)
+                    .map(|o| (o.orderkey, o.custkey))
+                    .collect();
+                let mut g = Groups::new();
+                for l in p.lineitem.iter().filter(|l| l.returnflag == b'R') {
+                    if let Some(&cust) = window.get(&l.orderkey) {
+                        accumulate(&mut g, cust as u64, [rev(l), 0.0, 0.0, 1.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q11: important stock identification — partsupp value by part for
+        // one nation's suppliers (heavy partial: per-partkey values).
+        QueryDef {
+            id: 11,
+            name: "important-stock",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 200,
+            broadcast: |ds| {
+                ds.suppliers
+                    .iter()
+                    .filter(|s| s.nationkey == 11)
+                    .map(|s| ((1 << 40) | s.suppkey as u64, [0.0; 4]))
+                    .collect()
+            },
+            map: |p, bc| {
+                let mut g = Groups::new();
+                for ps in &p.partsupp {
+                    if bc.contains_key(&((1 << 40) | ps.suppkey as u64)) {
+                        accumulate(
+                            &mut g,
+                            ps.partkey as u64,
+                            [ps.supplycost * ps.availqty as f64, 0.0, 0.0, 1.0],
+                        );
+                    }
+                }
+                g
+            },
+        },
+        // Q12: shipping modes and order priority.
+        QueryDef {
+            id: 12,
+            name: "shipmode-priority",
+            class: ExchangeClass::Small,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: no_broadcast,
+            map: |p, _| {
+                let lo = year_start(1994);
+                let hi = year_start(1995);
+                let prio: std::collections::HashMap<u64, u8> =
+                    p.orders.iter().map(|o| (o.orderkey, o.orderpriority)).collect();
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    if (l.shipmode == 2 || l.shipmode == 5)
+                        && l.commitdate < l.receiptdate
+                        && l.shipdate < l.commitdate
+                        && l.receiptdate >= lo
+                        && l.receiptdate < hi
+                    {
+                        let high = prio.get(&l.orderkey).is_some_and(|&pr| pr <= 1);
+                        let key = l.shipmode as u64;
+                        accumulate(
+                            &mut g,
+                            key,
+                            if high { [1.0, 0.0, 0.0, 1.0] } else { [0.0, 1.0, 0.0, 1.0] },
+                        );
+                    }
+                }
+                g
+            },
+        },
+        // Q13: customer distribution — orders per customer histogram
+        // (heavy partial: per-custkey counts).
+        QueryDef {
+            id: 13,
+            name: "customer-distribution",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: no_broadcast,
+            map: |p, _| {
+                let mut g = Groups::new();
+                for o in &p.orders {
+                    // Exclude "special request" orders (1-in-8 priority/status mix).
+                    if o.orderpriority != 4 {
+                        accumulate(&mut g, o.custkey as u64, [1.0, 0.0, 0.0, 0.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q14: promotion effect — promo revenue share for one month.
+        QueryDef {
+            id: 14,
+            name: "promotion-effect",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: |ds| {
+                // PROMO part types.
+                ds.parts
+                    .iter()
+                    .filter(|p| p.type_code < 50)
+                    .map(|p| (p.partkey as u64, [0.0; 4]))
+                    .collect()
+            },
+            map: |p, bc| {
+                let lo = year_start(1995) + 243;
+                let hi = lo + 30;
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    if l.shipdate >= lo && l.shipdate < hi {
+                        let r = rev(l);
+                        let promo = if bc.contains_key(&(l.partkey as u64)) { r } else { 0.0 };
+                        accumulate(&mut g, 0, [promo, r, 0.0, 1.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q15: top supplier — revenue per supplier for one quarter.
+        QueryDef {
+            id: 15,
+            name: "top-supplier",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 10,
+            broadcast: no_broadcast,
+            map: |p, _| {
+                let lo = year_start(1996);
+                let hi = lo + 91;
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    if l.shipdate >= lo && l.shipdate < hi {
+                        accumulate(&mut g, l.suppkey as u64, [rev(l), 0.0, 0.0, 1.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q16: parts/supplier relationship — supplier counts per
+        // (brand, type, size) bucket, excluding one brand.
+        QueryDef {
+            id: 16,
+            name: "parts-supplier",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: |ds| {
+                ds.parts
+                    .iter()
+                    .filter(|p| p.brand != 12 && [3, 9, 14, 19, 23, 36, 45, 49].contains(&p.size))
+                    .map(|p| {
+                        (
+                            p.partkey as u64,
+                            [p.brand as f64, p.type_code as f64, p.size as f64, 0.0],
+                        )
+                    })
+                    .collect()
+            },
+            map: |p, bc| {
+                let mut g = Groups::new();
+                for ps in &p.partsupp {
+                    if let Some(attrs) = bc.get(&(ps.partkey as u64)) {
+                        let key = ((attrs[0] as u64) << 16)
+                            | ((attrs[1] as u64) << 8)
+                            | attrs[2] as u64;
+                        accumulate(&mut g, key, [1.0, 0.0, 0.0, 0.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q17: small-quantity-order revenue — needs per-part average
+        // quantities (two logical passes folded into slots: the partial
+        // carries per-part (qty sum, count, candidate revenue)).
+        QueryDef {
+            id: 17,
+            name: "small-quantity",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: |ds| {
+                ds.parts
+                    .iter()
+                    .filter(|p| p.brand == 23 && p.container == 17)
+                    .map(|p| (p.partkey as u64, [0.0; 4]))
+                    .collect()
+            },
+            map: |p, bc| {
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    if bc.contains_key(&(l.partkey as u64)) {
+                        // slot0: Σ price of candidate (small-qty) lines;
+                        // slot1: Σ qty; slot2: line count — the reducer-side
+                        // avg test is approximated by the qty<8 candidate cut.
+                        let candidate = if l.quantity < 8.0 { l.extendedprice } else { 0.0 };
+                        accumulate(
+                            &mut g,
+                            l.partkey as u64,
+                            [candidate, l.quantity, 1.0, 0.0],
+                        );
+                    }
+                }
+                g
+            },
+        },
+        // Q18: large-volume customer — orders with total quantity > 300
+        // (heavy partial: per-order quantity sums).
+        QueryDef {
+            id: 18,
+            name: "large-volume-customer",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 100,
+            broadcast: no_broadcast,
+            map: |p, _| {
+                let mut qty: std::collections::HashMap<u64, f64> = Default::default();
+                for l in &p.lineitem {
+                    *qty.entry(l.orderkey).or_insert(0.0) += l.quantity;
+                }
+                let mut g = Groups::new();
+                // TPC-H uses quantity > 300; with 1-7 lineitems of ≤50
+                // units each, our generator tops out around 350, so a
+                // lower cut keeps the query selective *and* non-empty at
+                // small scale factors.
+                for o in &p.orders {
+                    if let Some(&q) = qty.get(&o.orderkey) {
+                        if q > 150.0 {
+                            accumulate(&mut g, o.orderkey, [q, o.totalprice, 0.0, 1.0]);
+                        }
+                    }
+                }
+                g
+            },
+        },
+        // Q19: discounted revenue — lineitem ⨝ part with three disjunct
+        // predicate families over brand/container/size/quantity. The
+        // broadcast ships per-part attributes for three brands: TPC-H's
+        // most exchange-intensive point lookup, and the paper's biggest
+        // HatRPC win (1.51×).
+        QueryDef {
+            id: 19,
+            name: "discounted-revenue",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: |ds| {
+                ds.parts
+                    .iter()
+                    .filter(|p| [12, 23, 34].contains(&p.brand))
+                    .map(|p| {
+                        (
+                            p.partkey as u64,
+                            [p.brand as f64, p.container as f64, p.size as f64, 0.0],
+                        )
+                    })
+                    .collect()
+            },
+            map: |p, bc| {
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    let Some(a) = bc.get(&(l.partkey as u64)) else { continue };
+                    let (brand, container, size) = (a[0] as u8, a[1] as u8, a[2] as u8);
+                    let q = l.quantity;
+                    let hit = (brand == 12 && container < 10 && (1..=11u8).contains(&size) && (1.0..=11.0).contains(&q))
+                        || (brand == 23 && (10..20).contains(&container) && size <= 10 && (10.0..=20.0).contains(&q))
+                        || (brand == 34 && container >= 20 && size <= 15 && (20.0..=30.0).contains(&q));
+                    if hit && l.shipinstruct == 0 && l.shipmode <= 1 {
+                        accumulate(&mut g, 0, [rev(l), 0.0, 0.0, 1.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q20: potential part promotion — suppliers with surplus stock of
+        // forest-class parts.
+        QueryDef {
+            id: 20,
+            name: "potential-promotion",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: |ds| {
+                ds.parts
+                    .iter()
+                    .filter(|p| p.type_code % 15 == 2)
+                    .map(|p| (p.partkey as u64, [0.0; 4]))
+                    .collect()
+            },
+            map: |p, bc| {
+                // Partition-invariant formulation: a supplier's shipped
+                // quantity (from lineitem, order-partitioned) and its
+                // available stock (from partsupp, round-robin-partitioned)
+                // live on different workers, so both are emitted as
+                // additive per-supplier sums and the surplus test
+                // (availqty > ½ shipped) is read off the merged rows —
+                // slots: [shipped qty, avail qty, shipment count,
+                // partsupp count].
+                let lo = year_start(1994);
+                let hi = year_start(1995);
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    if l.shipdate >= lo && l.shipdate < hi && bc.contains_key(&(l.partkey as u64))
+                    {
+                        accumulate(&mut g, l.suppkey as u64, [l.quantity, 0.0, 1.0, 0.0]);
+                    }
+                }
+                for ps in &p.partsupp {
+                    if bc.contains_key(&(ps.partkey as u64)) {
+                        accumulate(
+                            &mut g,
+                            ps.suppkey as u64,
+                            [0.0, ps.availqty as f64, 0.0, 1.0],
+                        );
+                    }
+                }
+                g
+            },
+        },
+        // Q21: suppliers who kept orders waiting — late lineitems on
+        // multi-supplier orders for one nation.
+        QueryDef {
+            id: 21,
+            name: "suppliers-waiting",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 100,
+            broadcast: |ds| {
+                ds.suppliers
+                    .iter()
+                    .filter(|s| s.nationkey == 20)
+                    .map(|s| ((1 << 40) | s.suppkey as u64, [0.0; 4]))
+                    .collect()
+            },
+            map: |p, bc| {
+                let failed: std::collections::HashSet<u64> = p
+                    .orders
+                    .iter()
+                    .filter(|o| o.orderstatus == b'F')
+                    .map(|o| o.orderkey)
+                    .collect();
+                // Orders with >1 distinct supplier (candidate multi-supplier).
+                let mut supps: std::collections::HashMap<u64, (u32, bool)> = Default::default();
+                for l in &p.lineitem {
+                    supps
+                        .entry(l.orderkey)
+                        .and_modify(|(first, multi)| {
+                            if *first != l.suppkey {
+                                *multi = true;
+                            }
+                        })
+                        .or_insert((l.suppkey, false));
+                }
+                let mut g = Groups::new();
+                for l in &p.lineitem {
+                    if l.receiptdate > l.commitdate
+                        && failed.contains(&l.orderkey)
+                        && bc.contains_key(&((1 << 40) | l.suppkey as u64))
+                        && supps.get(&l.orderkey).is_some_and(|(_, multi)| *multi)
+                    {
+                        accumulate(&mut g, l.suppkey as u64, [1.0, 0.0, 0.0, 0.0]);
+                    }
+                }
+                g
+            },
+        },
+        // Q22: global sales opportunity — customers with no orders but
+        // above-average balances, by phone country code. Workers ship the
+        // set of custkeys that *do* have orders (heavy partial).
+        QueryDef {
+            id: 22,
+            name: "global-sales-opportunity",
+            class: ExchangeClass::Bulk,
+            merge: Merge::Sum,
+            top_n: 0,
+            broadcast: |ds| {
+                // Positive-balance customers in the target country codes.
+                ds.customers
+                    .iter()
+                    .filter(|c| c.acctbal > 0.0 && (13..=19).contains(&c.phone_prefix))
+                    .map(|c| (c.custkey as u64, [c.phone_prefix as f64, c.acctbal, 0.0, 0.0]))
+                    .collect()
+            },
+            map: |p, bc| {
+                // Each worker reports which broadcast candidates have at
+                // least one order in ITS partition (order counts are
+                // additive, so the merged slot 0 is the candidate's total
+                // order count; candidates absent from the result are the
+                // "no orders anywhere" sales opportunities). Emitting
+                // broadcast-derived constants per partition would double-
+                // count them under the sum-merge.
+                let mut order_counts: std::collections::HashMap<u32, f64> = Default::default();
+                for o in &p.orders {
+                    *order_counts.entry(o.custkey).or_insert(0.0) += 1.0;
+                }
+                let mut g = Groups::new();
+                for (k, _attrs) in bc {
+                    if let Some(&n) = order_counts.get(&(*k as u32)) {
+                        accumulate(&mut g, *k, [n, 0.0, 0.0, 0.0]);
+                    }
+                }
+                g
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::generate;
+
+    #[test]
+    fn groups_codec_roundtrip() {
+        let mut g = Groups::new();
+        g.insert(5, [1.5, -2.0, 0.0, 7.0]);
+        g.insert(u64::MAX, [f64::MAX, f64::MIN_POSITIVE, 0.0, 0.0]);
+        assert_eq!(decode_groups(&encode_groups(&g)), g);
+        assert!(decode_groups(&[]).is_empty());
+        assert!(decode_groups(&[1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn there_are_22_queries_with_unique_ids() {
+        let qs = all_queries();
+        assert_eq!(qs.len(), 22);
+        let ids: std::collections::BTreeSet<u8> = qs.iter().map(|q| q.id).collect();
+        assert_eq!(ids, (1..=22).collect());
+    }
+
+    /// The load-bearing correctness property: running a query over W
+    /// partitions and merging must equal running it over one merged
+    /// partition.
+    #[test]
+    fn distributed_equals_single_partition_for_every_query() {
+        let ds = generate(0.003, 4, 11);
+        let single = Dataset {
+            customers: ds.customers.clone(),
+            parts: ds.parts.clone(),
+            suppliers: ds.suppliers.clone(),
+            partitions: vec![ds.merged()],
+        };
+        for q in all_queries() {
+            let dist = q.run_local(&ds);
+            let local = q.run_local(&single);
+            assert_eq!(
+                dist.rows.len(),
+                local.rows.len(),
+                "Q{}: row count {} vs {}",
+                q.id,
+                dist.rows.len(),
+                local.rows.len()
+            );
+            let (a, b) = (dist.fingerprint(), local.fingerprint());
+            assert!(
+                (a - b).abs() <= (a.abs() + b.abs()) * 1e-9 + 1e-9,
+                "Q{}: fingerprint {a} vs {b}",
+                q.id
+            );
+        }
+    }
+
+    #[test]
+    fn queries_produce_nonempty_results_at_modest_scale() {
+        let ds = generate(0.01, 4, 5);
+        for q in all_queries() {
+            let r = q.run_local(&ds);
+            assert!(!r.rows.is_empty(), "Q{} ({}) returned nothing", q.id, q.name);
+        }
+    }
+
+    #[test]
+    fn top_n_truncation_applies() {
+        let ds = generate(0.01, 2, 3);
+        let q3 = &all_queries()[2];
+        assert_eq!(q3.id, 3);
+        let r = q3.run_local(&ds);
+        assert!(r.rows.len() <= 10);
+    }
+
+    #[test]
+    fn exchange_classes_split_small_and_bulk() {
+        let qs = all_queries();
+        let small: Vec<u8> = qs
+            .iter()
+            .filter(|q| q.class == ExchangeClass::Small)
+            .map(|q| q.id)
+            .collect();
+        assert_eq!(small, vec![1, 4, 6, 12], "fact-local queries are the small class");
+    }
+}

@@ -1,0 +1,166 @@
+//! Compact row types for the TPC-H tables (the columns the 22 queries
+//! touch), plus the partitioned dataset layout.
+//!
+//! Dates are `u16` days since 1992-01-01 (TPC-H's date range spans ~7
+//! years); money is `f64` cents-precision; categorical columns are small
+//! integer codes (brand, container, ship mode, …) matching TPC-H's
+//! cardinalities.
+
+/// Days since 1992-01-01 for the first day of `year` (1992..=1998),
+/// ignoring leap days (uniform 365-day years keep filters simple and
+/// deterministic).
+pub fn year_start(year: u32) -> u16 {
+    ((year - 1992) * 365) as u16
+}
+
+/// The year (1992..) a day offset falls in.
+pub fn year_of(date: u16) -> u32 {
+    1992 + (date as u32) / 365
+}
+
+/// `lineitem` — the big fact table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lineitem {
+    pub orderkey: u64,
+    pub partkey: u32,
+    pub suppkey: u32,
+    pub quantity: f64,
+    pub extendedprice: f64,
+    pub discount: f64,
+    pub tax: f64,
+    pub returnflag: u8,
+    pub linestatus: u8,
+    pub shipdate: u16,
+    pub commitdate: u16,
+    pub receiptdate: u16,
+    pub shipmode: u8,
+    pub shipinstruct: u8,
+}
+
+/// `orders`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Order {
+    pub orderkey: u64,
+    pub custkey: u32,
+    pub orderstatus: u8,
+    pub totalprice: f64,
+    pub orderdate: u16,
+    pub orderpriority: u8,
+}
+
+/// `customer` (dimension, coordinator-resident).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Customer {
+    pub custkey: u32,
+    pub nationkey: u8,
+    pub mktsegment: u8,
+    pub acctbal: f64,
+    /// Leading phone digits (country code), for Q22.
+    pub phone_prefix: u8,
+}
+
+/// `part` (dimension, coordinator-resident).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Part {
+    pub partkey: u32,
+    pub brand: u8,
+    /// Type code 0..150 (Q2/Q8/Q14/Q16/Q19 filter by ranges of it).
+    pub type_code: u8,
+    pub size: u8,
+    pub container: u8,
+    pub retailprice: f64,
+}
+
+/// `supplier` (dimension, coordinator-resident).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Supplier {
+    pub suppkey: u32,
+    pub nationkey: u8,
+    pub acctbal: f64,
+}
+
+/// `partsupp` (fact, worker-partitioned).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartSupp {
+    pub partkey: u32,
+    pub suppkey: u32,
+    pub availqty: u16,
+    pub supplycost: f64,
+}
+
+/// Number of nations / regions (TPC-H constants).
+pub const NATIONS: u8 = 25;
+pub const REGIONS: u8 = 5;
+
+/// Region of a nation (TPC-H's fixed mapping approximated as modulo).
+pub fn region_of(nation: u8) -> u8 {
+    nation % REGIONS
+}
+
+/// A worker's share of the fact tables. `lineitem` and `orders` are
+/// co-partitioned by order key, so order-grain joins are local.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    pub lineitem: Vec<Lineitem>,
+    pub orders: Vec<Order>,
+    pub partsupp: Vec<PartSupp>,
+}
+
+impl Partition {
+    /// Total fact rows in this partition.
+    pub fn rows(&self) -> usize {
+        self.lineitem.len() + self.orders.len() + self.partsupp.len()
+    }
+}
+
+/// The generated database: dimension tables (coordinator-resident) plus
+/// fact partitions (one per worker).
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    pub customers: Vec<Customer>,
+    pub parts: Vec<Part>,
+    pub suppliers: Vec<Supplier>,
+    /// `nation[n]` = region (the whole nation table is this mapping plus
+    /// the key itself).
+    pub partitions: Vec<Partition>,
+}
+
+impl Dataset {
+    /// Total fact rows across partitions.
+    pub fn fact_rows(&self) -> usize {
+        self.partitions.iter().map(Partition::rows).sum()
+    }
+
+    /// A logically identical single-partition view (reference executor
+    /// for correctness tests).
+    pub fn merged(&self) -> Partition {
+        let mut all = Partition::default();
+        for p in &self.partitions {
+            all.lineitem.extend_from_slice(&p.lineitem);
+            all.orders.extend_from_slice(&p.orders);
+            all.partsupp.extend_from_slice(&p.partsupp);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_helpers() {
+        assert_eq!(year_start(1992), 0);
+        assert_eq!(year_start(1995), 3 * 365);
+        assert_eq!(year_of(0), 1992);
+        assert_eq!(year_of(364), 1992);
+        assert_eq!(year_of(365), 1993);
+    }
+
+    #[test]
+    fn regions_cover_all_nations() {
+        for n in 0..NATIONS {
+            assert!(region_of(n) < REGIONS);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the TPC-H engine: the exchange codec, the
+//! merge algebra that makes distribution correct, and generator
+//! determinism.
+
+use std::collections::BTreeMap;
+
+use hat_tpch::queries::{accumulate, decode_groups, encode_groups, Groups, Merge, QueryDef};
+use hat_tpch::schema::{Dataset, Partition};
+use proptest::prelude::*;
+
+fn groups() -> impl Strategy<Value = Groups> {
+    prop::collection::btree_map(
+        any::<u64>(),
+        prop::array::uniform4(-1.0e12f64..1.0e12),
+        0..40,
+    )
+    .prop_map(|m: BTreeMap<u64, [f64; 4]>| m)
+}
+
+/// A no-op query shell for exercising `reduce` in isolation.
+fn sum_query(top_n: usize, merge: Merge) -> QueryDef {
+    QueryDef {
+        id: 1,
+        name: "test",
+        class: hat_tpch::queries::ExchangeClass::Small,
+        merge,
+        top_n,
+        broadcast: |_| Groups::new(),
+        map: |_, _| Groups::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn groups_codec_roundtrips(g in groups()) {
+        prop_assert_eq!(decode_groups(&encode_groups(&g)), g);
+    }
+
+    /// Truncated codec input never panics and decodes a prefix.
+    #[test]
+    fn truncated_codec_is_safe(g in groups(), cut in 0usize..64) {
+        let bytes = encode_groups(&g);
+        let cut = cut.min(bytes.len());
+        let decoded = decode_groups(&bytes[..bytes.len() - cut]);
+        prop_assert!(decoded.len() <= g.len());
+        for (k, slots) in &decoded {
+            prop_assert_eq!(Some(slots), g.get(k).as_ref().copied());
+        }
+    }
+
+    /// Sum-merge is partition-invariant: splitting one set of group
+    /// contributions across any number of partials reduces to the same
+    /// totals — the property that makes every distributed query equal its
+    /// single-node reference.
+    #[test]
+    fn sum_reduce_is_partition_invariant(
+        contributions in prop::collection::vec((0u64..50, prop::array::uniform4(-1.0e6f64..1.0e6)), 1..80),
+        split_seed in any::<u64>(),
+        parts in 1usize..6,
+    ) {
+        // One partial holding everything.
+        let mut single = Groups::new();
+        for (k, slots) in &contributions {
+            accumulate(&mut single, *k, *slots);
+        }
+        // The same contributions scattered over `parts` partials.
+        let mut scattered: Vec<Groups> = vec![Groups::new(); parts];
+        let mut state = split_seed | 1;
+        for (k, slots) in &contributions {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let idx = (state >> 33) as usize % parts;
+            accumulate(&mut scattered[idx], *k, *slots);
+        }
+        let q = sum_query(0, Merge::Sum);
+        let a = q.reduce(&[single]);
+        let b = q.reduce(&scattered);
+        prop_assert_eq!(a.rows.len(), b.rows.len());
+        for ((ka, sa), (kb, sb)) in a.rows.iter().zip(&b.rows) {
+            prop_assert_eq!(ka, kb);
+            for (x, y) in sa.iter().zip(sb) {
+                prop_assert!((x - y).abs() <= (x.abs() + y.abs()) * 1e-9 + 1e-9);
+            }
+        }
+    }
+
+    /// Min-merge on slot 0 is also partition-invariant.
+    #[test]
+    fn min_reduce_is_partition_invariant(
+        contributions in prop::collection::vec((0u64..20, 0.0f64..1.0e6), 1..60),
+        parts in 1usize..5,
+    ) {
+        let mk = |assign: &dyn Fn(usize) -> usize, n: usize| -> Vec<Groups> {
+            let mut out = vec![Groups::new(); n];
+            for (i, (k, v)) in contributions.iter().enumerate() {
+                let g = &mut out[assign(i)];
+                let e = g.entry(*k).or_insert([f64::INFINITY, 0.0, 0.0, 0.0]);
+                e[0] = e[0].min(*v);
+                e[3] += 1.0;
+            }
+            out
+        };
+        let q = sum_query(0, Merge::MinSlot0);
+        let a = q.reduce(&mk(&|_| 0, 1));
+        let b = q.reduce(&mk(&|i| i % parts, parts));
+        prop_assert_eq!(a.rows.len(), b.rows.len());
+        for ((ka, sa), (kb, sb)) in a.rows.iter().zip(&b.rows) {
+            prop_assert_eq!(ka, kb);
+            prop_assert_eq!(sa[0], sb[0], "min slot must agree");
+            prop_assert_eq!(sa[3], sb[3], "count slot must agree");
+        }
+    }
+
+    /// Top-N keeps exactly the N largest slot-0 rows.
+    #[test]
+    fn top_n_keeps_the_largest(g in groups(), n in 1usize..10) {
+        let q = sum_query(n, Merge::Sum);
+        let r = q.reduce(&[g.clone()]);
+        prop_assert!(r.rows.len() <= n.max(g.len().min(n)));
+        if g.len() > n {
+            prop_assert_eq!(r.rows.len(), n);
+            // Every kept row's slot0 >= every dropped row's slot0.
+            let kept: std::collections::BTreeSet<u64> = r.rows.iter().map(|(k, _)| *k).collect();
+            let min_kept = r.rows.iter().map(|(_, s)| s[0]).fold(f64::INFINITY, f64::min);
+            for (k, slots) in &g {
+                if !kept.contains(k) {
+                    prop_assert!(slots[0] <= min_kept + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Data generation is a pure function of (sf, workers, seed).
+    #[test]
+    fn dbgen_is_deterministic(seed in any::<u64>(), workers in 1usize..5) {
+        let a = hat_tpch::generate(0.0008, workers, seed);
+        let b = hat_tpch::generate(0.0008, workers, seed);
+        prop_assert_eq!(a.customers, b.customers);
+        prop_assert_eq!(a.parts, b.parts);
+        for (pa, pb) in a.partitions.iter().zip(&b.partitions) {
+            prop_assert_eq!(&pa.lineitem, &pb.lineitem);
+            prop_assert_eq!(&pa.orders, &pb.orders);
+        }
+    }
+}
+
+/// Non-proptest sanity: merged() equals concatenation of partitions.
+#[test]
+fn merged_view_is_the_concatenation() {
+    let ds = hat_tpch::generate(0.001, 3, 9);
+    let merged: Partition = ds.merged();
+    assert_eq!(
+        merged.lineitem.len(),
+        ds.partitions.iter().map(|p| p.lineitem.len()).sum::<usize>()
+    );
+    let single = Dataset {
+        customers: ds.customers.clone(),
+        parts: ds.parts.clone(),
+        suppliers: ds.suppliers.clone(),
+        partitions: vec![merged],
+    };
+    assert_eq!(single.fact_rows(), ds.fact_rows());
+}

@@ -1,0 +1,198 @@
+//! Request-key distributions: YCSB's zipfian (with the standard Gray et
+//! al. rejection-free sampler), uniform, and latest-biased choosers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+#[cfg(test)]
+use rand::SeedableRng;
+
+/// Which request distribution a workload uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RequestDistribution {
+    /// Skewed toward popular items (YCSB default, θ = 0.99).
+    #[default]
+    Zipfian,
+    /// Every record equally likely.
+    Uniform,
+    /// Skewed toward recently inserted records.
+    Latest,
+}
+
+/// Zipfian sampler after Gray et al. ("Quickly generating billion-record
+/// synthetic databases"), as used by YCSB's `ZipfianGenerator`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// YCSB's default skew.
+    pub const DEFAULT_THETA: f64 = 0.99;
+
+    /// Build a sampler over `items` records.
+    pub fn new(items: u64, theta: f64) -> Zipfian {
+        assert!(items > 0, "need at least one item");
+        let zetan = Self::zeta(items, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { items, theta, zetan, alpha, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to a cap, then the standard integral approximation —
+        // keeps construction O(1)-ish for the paper's record counts.
+        const EXACT: u64 = 10_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // ∫ x^-θ dx from EXACT to n.
+            let a = 1.0 - theta;
+            sum += ((n as f64).powf(a) - (EXACT as f64).powf(a)) / a;
+        }
+        sum
+    }
+
+    /// Draw a rank in `[0, items)` (0 = most popular).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.items as f64) * spread) as u64 % self.items
+    }
+
+    /// ζ(2, θ) (exposed for tests).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// A seeded chooser over record indices.
+#[derive(Debug)]
+pub struct KeyChooser {
+    dist: RequestDistribution,
+    zipf: Option<Zipfian>,
+    items: u64,
+}
+
+impl KeyChooser {
+    /// Build a chooser for `items` records.
+    pub fn new(dist: RequestDistribution, items: u64, _seed: u64) -> KeyChooser {
+        let items = items.max(1);
+        let zipf = match dist {
+            RequestDistribution::Zipfian | RequestDistribution::Latest => {
+                Some(Zipfian::new(items, Zipfian::DEFAULT_THETA))
+            }
+            RequestDistribution::Uniform => None,
+        };
+        KeyChooser { dist, zipf, items }
+    }
+
+    /// Draw the next record index.
+    pub fn next(&mut self, rng: &mut StdRng) -> u64 {
+        match self.dist {
+            RequestDistribution::Uniform => rng.random_range(0..self.items),
+            RequestDistribution::Zipfian => {
+                self.zipf.as_ref().expect("zipf built").sample(rng)
+            }
+            RequestDistribution::Latest => {
+                // Rank 0 = newest record.
+                let rank = self.zipf.as_ref().expect("zipf built").sample(rng);
+                self.items - 1 - rank
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zipfian_is_skewed_toward_low_ranks() {
+        let z = Zipfian::new(10_000, Zipfian::DEFAULT_THETA);
+        let mut r = rng();
+        let mut head = 0usize;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut r) < 100 {
+                head += 1;
+            }
+        }
+        let frac = head as f64 / N as f64;
+        // With θ=0.99, the top 1% of items draw a large share of requests.
+        assert!(frac > 0.3, "head fraction {frac} too small for zipfian");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 1000);
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let mut chooser = KeyChooser::new(RequestDistribution::Uniform, 10, 1);
+        let mut r = rng();
+        let mut counts = [0usize; 10];
+        const N: usize = 50_000;
+        for _ in 0..N {
+            counts[chooser.next(&mut r) as usize] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let frac = *c as f64 / N as f64;
+            assert!((frac - 0.1).abs() < 0.02, "bucket {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn latest_prefers_high_indices() {
+        let mut chooser = KeyChooser::new(RequestDistribution::Latest, 1000, 1);
+        let mut r = rng();
+        let mut newest = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if chooser.next(&mut r) >= 900 {
+                newest += 1;
+            }
+        }
+        assert!(newest as f64 / N as f64 > 0.3, "latest distribution not recency-biased");
+    }
+
+    #[test]
+    fn large_item_counts_use_the_approximation() {
+        // Past the exact-sum cap: construction must stay fast and valid.
+        let z = Zipfian::new(100_000_000, 0.99);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 100_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_rejected() {
+        Zipfian::new(0, 0.99);
+    }
+}

@@ -1,0 +1,68 @@
+//! Protocol explorer: run one RPC through each of the eleven RDMA
+//! protocols and print what actually happened at the verbs level —
+//! work requests, doorbells, one-sided operations, copies, and pinned
+//! memory on each side. This is the paper's Figure 3/§3.2 analysis as a
+//! live table.
+//!
+//! ```text
+//! cargo run --example protocol_explorer
+//! ```
+
+use hatrpc::protocols::{accept_server, connect_client, ProtocolConfig, ProtocolKind};
+use hatrpc::rdma::{Fabric, SimConfig};
+
+fn main() {
+    println!(
+        "{:<18} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "protocol", "cliWRs", "doorbell", "cli1side", "srv1side", "copies", "cliPin(B)", "srvPin(B)"
+    );
+    println!("{}", "-".repeat(88));
+
+    for kind in ProtocolKind::ALL {
+        let fabric = Fabric::new(SimConfig::default());
+        let cnode = fabric.add_node("client");
+        let snode = fabric.add_node("server");
+        let (cep, sep) = fabric.connect(&cnode, &snode).expect("connect");
+        let cfg = ProtocolConfig { max_msg: 4096, ..Default::default() };
+        let scfg = cfg.clone();
+        let server = std::thread::spawn(move || {
+            let mut server = accept_server(kind, sep, scfg).expect("server");
+            for _ in 0..4 {
+                server.serve_one(&mut |req| req.to_vec()).expect("serve");
+            }
+            server
+        });
+        let mut client = connect_client(kind, cep, cfg).expect("client");
+
+        // Snapshot after setup so the table shows steady-state per-call
+        // behaviour (4 calls; divide mentally by 4).
+        client.call(&[0u8; 1024]).expect("warmup");
+        let c0 = cnode.stats_snapshot();
+        let s0 = snode.stats_snapshot();
+        for _ in 0..3 {
+            client.call(&[7u8; 1024]).expect("echo");
+        }
+        let c1 = cnode.stats_snapshot();
+        let s1 = snode.stats_snapshot();
+        println!(
+            "{:<18} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>10}",
+            kind.label(),
+            (c1.wrs_posted - c0.wrs_posted) / 3,
+            (c1.doorbells - c0.doorbells) / 3,
+            (c1.outbound_rdma - c0.outbound_rdma) / 3,
+            (s1.outbound_rdma - s0.outbound_rdma) / 3,
+            (c1.memcpys - c0.memcpys + s1.memcpys - s0.memcpys) / 3,
+            c1.registered_bytes,
+            s1.registered_bytes,
+        );
+        drop(client);
+        drop(server.join().expect("server thread"));
+    }
+
+    println!();
+    println!("Reading the table against the paper's analysis:");
+    println!("  * Chained-Write-Send rings half the doorbells of Direct-Write-Send (Fig. 3c).");
+    println!("  * Pilaf/FaRM/RFP shift one-sided work to the client; the server column is 0.");
+    println!("  * Eager pays copies on both sides; the direct-write family pins 2x max_msg");
+    println!("    per connection (the res_util hint's reason to avoid them at scale).");
+}

@@ -1,0 +1,46 @@
+//! TPC-H over HatRPC (paper §5.5): run a few queries of the distributed
+//! engine over the IPoIB baseline and the HatRPC-Function transport, and
+//! print the per-query speedups.
+//!
+//! ```text
+//! cargo run --release --example tpch_demo
+//! ```
+
+use hatrpc::rdma::{Fabric, SimConfig};
+use hatrpc::tpch::{all_queries, ClusterConfig, TpchCluster, TransportMode};
+
+fn main() {
+    let cfg = ClusterConfig { sf: 0.005, workers: 3, seed: 7 };
+    println!(
+        "TPC-H demo: SF {} over {} workers (Q1 tiny aggregates, Q3 joins, Q19 heavy exchange)\n",
+        cfg.sf, cfg.workers
+    );
+
+    let picks = [1u8, 3, 6, 19];
+    let mut times: Vec<Vec<(u8, f64)>> = Vec::new();
+    for mode in [TransportMode::Ipoib, TransportMode::HatRpcFunction] {
+        let fabric = Fabric::new(SimConfig::default());
+        let mut cluster = TpchCluster::start(&fabric, &cfg, mode);
+        let mut rows = Vec::new();
+        for q in all_queries().iter().filter(|q| picks.contains(&q.id)) {
+            let (result, ns) = cluster.run_query(q).expect("query");
+            rows.push((q.id, ns as f64 / 1e6));
+            println!(
+                "{:<16} Q{:<2} {:<24} {:>8.2} ms  ({} result rows)",
+                mode.label(),
+                q.id,
+                q.name,
+                ns as f64 / 1e6,
+                result.rows.len()
+            );
+        }
+        times.push(rows);
+        cluster.shutdown();
+        println!();
+    }
+
+    println!("speedups (Thrift/IPoIB -> HatRPC-Function):");
+    for (ipoib, hat) in times[0].iter().zip(&times[1]) {
+        println!("  Q{:<2}: {:.2}x", ipoib.0, ipoib.1 / hat.1);
+    }
+}

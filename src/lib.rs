@@ -1,0 +1,29 @@
+//! # HatRPC — hint-accelerated Thrift RPC over (simulated) RDMA
+//!
+//! Facade crate for the HatRPC reproduction (SC '21). Re-exports every
+//! subsystem so examples, integration tests, and downstream users can
+//! depend on a single crate:
+//!
+//! * [`rdma`] — the simulated verbs layer and fabric ([`hat_rdma_sim`]).
+//! * [`protocols`] — the nine RDMA RPC protocols of the paper's Figure 3.
+//! * [`idl`] — the Thrift IDL parser with the hierarchical hint grammar.
+//! * [`codegen`] — the `hatc` code generator.
+//! * [`core`] — transports, Thrift protocols, servers, and the hint-aware
+//!   RDMA engine.
+//! * [`kvdb`] — the embedded B+Tree store backing HatKV.
+//! * [`hatkv`] — the co-designed key-value store and emulated comparators.
+//! * [`ycsb`], [`atb`], [`tpch`] — the three workload suites of the
+//!   paper's evaluation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+
+pub use hat_atb as atb;
+pub use hat_codegen as codegen;
+pub use hat_hatkv as hatkv;
+pub use hat_idl as idl;
+pub use hat_kvdb as kvdb;
+pub use hat_protocols as protocols;
+pub use hat_rdma_sim as rdma;
+pub use hat_tpch as tpch;
+pub use hat_ycsb as ycsb;
+pub use hatrpc_core as core;

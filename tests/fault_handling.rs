@@ -1,0 +1,231 @@
+//! Failure-path integration tests: disconnects, malformed traffic,
+//! resource exhaustion — the paths a production RPC framework must
+//! survive.
+
+use std::sync::Arc;
+
+use hatrpc::core::engine::{HatClient, HatServer, ServerPolicy};
+use hatrpc::core::service::ServiceSchema;
+use hatrpc::core::CoreError;
+use hatrpc::protocols::{ProtocolConfig, ProtocolKind};
+use hatrpc::rdma::{Fabric, RdmaError, SimConfig};
+
+const IDL: &str = r#"
+    service Svc {
+        hint: perf_goal = latency;
+        binary echo(1: binary p) [ hint: payload_size = 4K; ]
+    }
+"#;
+
+#[test]
+fn client_survives_server_side_handler_panic_free_errors() {
+    // A handler that returns an exception reply for some inputs.
+    let schema = ServiceSchema::parse(IDL, "Svc").unwrap();
+    let fabric = Fabric::new(SimConfig::fast_test());
+    let snode = fabric.add_node("server");
+    let server = HatServer::serve(
+        &fabric,
+        &snode,
+        "svc",
+        schema.clone(),
+        ServerPolicy::Threaded,
+        Arc::new(|| {
+            let mut router = hatrpc::core::dispatch::Router::new().add("echo", |input, output| {
+                use hatrpc::core::protocol::{TInputProtocol, TOutputProtocol, TType};
+                input.read_struct_begin()?;
+                let mut payload = Vec::new();
+                loop {
+                    let (fty, fid) = input.read_field_begin()?;
+                    if fty == TType::Stop {
+                        break;
+                    }
+                    if fid == 1 {
+                        payload = input.read_binary()?;
+                    } else {
+                        input.skip(fty)?;
+                    }
+                }
+                if payload.starts_with(b"boom") {
+                    return Err(CoreError::Application("handler failure".into()));
+                }
+                output.write_struct_begin("r");
+                output.write_field_begin(TType::String, 0);
+                output.write_binary(&payload);
+                output.write_field_end();
+                output.write_field_stop();
+                output.write_struct_end();
+                Ok(())
+            });
+            Box::new(move |req: &[u8]| router.handle(req))
+        }),
+    );
+    let cnode = fabric.add_node("client");
+    let mut client = HatClient::new(&fabric, &cnode, "svc", &schema);
+
+    // Raw engine call returns the exception reply bytes; the typed layer
+    // (dispatch::decode_reply) surfaces it as an error — and the
+    // connection stays healthy for later calls.
+    let req = hatrpc::core::dispatch::encode_call("echo", 1, |out| {
+        use hatrpc::core::protocol::{TOutputProtocol, TType};
+        out.write_struct_begin("args");
+        out.write_field_begin(TType::String, 1);
+        out.write_binary(b"boom now");
+        out.write_field_end();
+        out.write_field_stop();
+        out.write_struct_end();
+    });
+    let reply = client.call("echo", &req).unwrap();
+    let err = hatrpc::core::dispatch::decode_reply(&reply, 1, |_| Ok(())).unwrap_err();
+    assert!(matches!(err, CoreError::Application(m) if m.contains("handler failure")));
+
+    let req2 = hatrpc::core::dispatch::encode_call("echo", 2, |out| {
+        use hatrpc::core::protocol::{TOutputProtocol, TType};
+        out.write_struct_begin("args");
+        out.write_field_begin(TType::String, 1);
+        out.write_binary(b"fine");
+        out.write_field_end();
+        out.write_field_stop();
+        out.write_struct_end();
+    });
+    let reply2 = client.call("echo", &req2).unwrap();
+    assert!(!reply2.is_empty(), "connection survives an application exception");
+    server.shutdown();
+}
+
+#[test]
+fn dialing_a_missing_service_fails_cleanly() {
+    let fabric = Fabric::new(SimConfig::fast_test());
+    let cnode = fabric.add_node("client");
+    let err = fabric.dial(&cnode, "no-such-service").unwrap_err();
+    assert!(matches!(err, RdmaError::NoSuchService(_)));
+    assert!(fabric.dial_ipoib(&cnode, "nope").is_err());
+}
+
+#[test]
+fn protocol_servers_handle_abrupt_client_exit_mid_stream() {
+    for kind in [
+        ProtocolKind::EagerSendRecv,
+        ProtocolKind::DirectWriteImm,
+        ProtocolKind::WriteRndv,
+        ProtocolKind::Rfp,
+    ] {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let c = fabric.add_node("c");
+        let s = fabric.add_node("s");
+        let (cep, sep) = fabric.connect(&c, &s).unwrap();
+        let cfg = ProtocolConfig { max_msg: 1024, ..Default::default() };
+        let scfg = cfg.clone();
+        let server_thread = std::thread::spawn(move || {
+            let mut server = hatrpc::protocols::accept_server(kind, sep, scfg).unwrap();
+            // Serve until disconnect; must return Ok, not hang or panic.
+            let mut served = 0;
+            while server.serve_one(&mut |r| r.to_vec()).unwrap() {
+                served += 1;
+            }
+            served
+        });
+        let mut client = hatrpc::protocols::connect_client(kind, cep, cfg).unwrap();
+        for i in 0..3 {
+            client.call(&[i; 64]).unwrap();
+        }
+        drop(client); // abrupt exit
+        let served = server_thread.join().unwrap();
+        assert_eq!(served, 3, "{kind}");
+    }
+}
+
+#[test]
+fn kvdb_reader_exhaustion_is_reported_not_deadlocked() {
+    use hatrpc::kvdb::{Database, DbConfig, KvError, SyncMode};
+    let db = Database::new(DbConfig { max_readers: 3, sync_mode: SyncMode::NoSync });
+    let _r1 = db.begin_read().unwrap();
+    let _r2 = db.begin_read().unwrap();
+    let _r3 = db.begin_read().unwrap();
+    assert_eq!(db.begin_read().unwrap_err(), KvError::ReadersFull);
+    // Writers are unaffected by reader exhaustion.
+    db.put(b"k", b"v");
+    assert_eq!(db.get(b"k").unwrap(), b"v");
+}
+
+#[test]
+fn oversized_inline_and_bad_rkey_are_rejected_at_post_time() {
+    use hatrpc::rdma::{RemoteBuf, SendWr};
+    let fabric = Fabric::new(SimConfig::fast_test());
+    let a = fabric.add_node("a");
+    let b = fabric.add_node("b");
+    let (ea, _eb) = fabric.connect(&a, &b).unwrap();
+    // Oversized inline data.
+    let err = ea.post_send(&[SendWr::send_inline(1, vec![0u8; 100_000])]).unwrap_err();
+    assert!(matches!(err, RdmaError::InlineTooLarge { .. }));
+    // Bogus remote key.
+    let mr = ea.pd().register(64).unwrap();
+    let bogus = RemoteBuf { node_id: 424242, rkey: 99, offset: 0, len: 64 };
+    let err2 = ea.post_send(&[SendWr::read(2, mr.slice(0, 64), bogus)]).unwrap_err();
+    assert!(matches!(err2, RdmaError::InvalidRKey(_)));
+}
+
+#[test]
+fn unknown_method_over_full_stack_returns_exception() {
+    let schema = ServiceSchema::parse(IDL, "Svc").unwrap();
+    let fabric = Fabric::new(SimConfig::fast_test());
+    let snode = fabric.add_node("server");
+    let server = HatServer::serve(
+        &fabric,
+        &snode,
+        "svc",
+        schema.clone(),
+        ServerPolicy::Threaded,
+        Arc::new(|| {
+            let mut router = hatrpc::core::dispatch::Router::new();
+            Box::new(move |req: &[u8]| router.handle(req))
+        }),
+    );
+    let cnode = fabric.add_node("client");
+    let mut client = HatClient::new(&fabric, &cnode, "svc", &schema);
+    let req = hatrpc::core::dispatch::encode_call("nonexistent", 7, |out| {
+        use hatrpc::core::protocol::TOutputProtocol;
+        out.write_field_stop();
+    });
+    let reply = client.call("nonexistent", &req).unwrap();
+    let err = hatrpc::core::dispatch::decode_reply(&reply, 7, |_| Ok(())).unwrap_err();
+    assert!(matches!(err, CoreError::Application(m) if m.contains("nonexistent")));
+    server.shutdown();
+}
+
+#[test]
+fn hint_typos_degrade_gracefully_not_fatally() {
+    // Unknown keys and bad values are filtered with warnings; the service
+    // still builds and serves.
+    let idl = r#"
+        service Typo {
+            hint: perf_goal = warp_speed, made_up_key = 42;
+            binary f(1: binary p)
+        }
+    "#;
+    let doc = hat_idl::parse(idl).unwrap();
+    let mut warnings = Vec::new();
+    let resolved = hat_idl::hints::resolve_with_warnings(
+        &doc.services[0].hints,
+        None,
+        hat_idl::hints::Side::Client,
+        &mut warnings,
+    );
+    assert_eq!(warnings.len(), 2);
+    assert_eq!(resolved.perf_goal, None, "bad value filtered, not guessed");
+
+    let schema = ServiceSchema::from_idl(&doc.services[0]);
+    let fabric = Fabric::new(SimConfig::fast_test());
+    let snode = fabric.add_node("server");
+    let server = HatServer::serve(
+        &fabric,
+        &snode,
+        "typo",
+        schema.clone(),
+        ServerPolicy::Threaded,
+        Arc::new(|| Box::new(|req: &[u8]| req.to_vec())),
+    );
+    let cnode = fabric.add_node("client");
+    let mut client = HatClient::new(&fabric, &cnode, "typo", &schema);
+    assert_eq!(client.call("f", b"still works").unwrap(), b"still works");
+    server.shutdown();
+}
