@@ -54,8 +54,7 @@ pub fn run_latency(fabric: &Fabric, cfg: &LatencyConfig) -> Result<LatencyResult
     let cnode = fabric.add_node("atb-lat-client");
     let schema = latency_schema(cfg.payload);
     let server = AtbServer::start(fabric, &snode, "atb-lat", cfg.mode, schema.clone(), cfg.payload);
-    let mut client =
-        AtbClient::connect(fabric, &cnode, "atb-lat", cfg.mode, &schema, cfg.payload)?;
+    let mut client = AtbClient::connect(fabric, &cnode, "atb-lat", cfg.mode, &schema, cfg.payload)?;
 
     let payload = vec![0x5A; cfg.payload];
     let mut seq = 0;
@@ -129,15 +128,20 @@ mod tests {
     fn ipoib_is_much_slower_than_rdma() {
         // Best-case comparison (see above): the IPoIB floor carries two
         // kernel-stack traversals (~10 µs each way simulated) that native
-        // RDMA skips entirely.
-        let hat = run(Mode::HatRpc, 512);
-        let ipoib = run(Mode::Ipoib, 512);
-        assert!(
-            ipoib.min_ns as f64 > hat.min_ns as f64 * 1.5,
-            "IPoIB {} vs HatRPC {}",
-            ipoib.min_ns,
-            hat.min_ns
-        );
+        // RDMA skips entirely. Even the per-iteration minimum can be
+        // inflated by milliseconds when the whole workspace test suite
+        // time-shares the host, so allow a couple of re-measurements
+        // before declaring the ordering violated.
+        let mut last = (0, 0);
+        for _ in 0..3 {
+            let hat = run(Mode::HatRpc, 512);
+            let ipoib = run(Mode::Ipoib, 512);
+            if ipoib.min_ns as f64 > hat.min_ns as f64 * 1.5 {
+                return;
+            }
+            last = (ipoib.min_ns, hat.min_ns);
+        }
+        panic!("IPoIB {} vs HatRPC {}", last.0, last.1);
     }
 
     #[test]

@@ -64,10 +64,7 @@ mod tests {
     #[test]
     fn mode_labels() {
         assert_eq!(Mode::HatRpc.label(), "HatRPC");
-        assert_eq!(
-            Mode::Fixed(ProtocolKind::Rfp, PollMode::Event).label(),
-            "RFP (event)"
-        );
+        assert_eq!(Mode::Fixed(ProtocolKind::Rfp, PollMode::Event).label(), "RFP (event)");
         assert_eq!(Mode::Ipoib.label(), "Thrift/IPoIB");
     }
 }

@@ -68,8 +68,7 @@ pub struct MixResult {
 pub fn run_mix(fabric: &Fabric, cfg: &MixConfig) -> Result<MixResult> {
     let snode = fabric.add_node("atb-mix-server");
     let schema = mix_schema(cfg.payload, cfg.clients);
-    let server =
-        AtbServer::start(fabric, &snode, "atb-mix", cfg.mode, schema.clone(), cfg.payload);
+    let server = AtbServer::start(fabric, &snode, "atb-mix", cfg.mode, schema.clone(), cfg.payload);
 
     let client_nodes: Vec<_> = (0..cfg.client_nodes.max(1))
         .map(|i| fabric.add_node(&format!("atb-mix-client{i}")))
@@ -89,9 +88,8 @@ pub fn run_mix(fabric: &Fabric, cfg: &MixConfig) -> Result<MixResult> {
             let mut rng = StdRng::seed_from_u64(c as u64 + 99);
             // The barrier must be reached on every path (see throughput.rs).
             let setup = (|| {
-                let mut client = AtbClient::connect(
-                    &fabric, &node, "atb-mix", cfg.mode, &schema, cfg.payload,
-                )?;
+                let mut client =
+                    AtbClient::connect(&fabric, &node, "atb-mix", cfg.mode, &schema, cfg.payload)?;
                 // Warm both channels before the measured window.
                 client.call("fast", 0, &payload)?;
                 client.call("bulk", 0, &payload)?;
@@ -164,14 +162,8 @@ mod tests {
         let fabric = Fabric::new(SimConfig::fast_test());
         let snode = fabric.add_node("s");
         let schema = mix_schema(128 * 1024, 64);
-        let server = AtbServer::start(
-            &fabric,
-            &snode,
-            "mix-iso",
-            Mode::HatRpc,
-            schema.clone(),
-            128 * 1024,
-        );
+        let server =
+            AtbServer::start(&fabric, &snode, "mix-iso", Mode::HatRpc, schema.clone(), 128 * 1024);
         let cnode = fabric.add_node("c");
         let mut client =
             AtbClient::connect(&fabric, &cnode, "mix-iso", Mode::HatRpc, &schema, 128 * 1024)

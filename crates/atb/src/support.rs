@@ -171,9 +171,19 @@ pub enum AtbServer {
     /// Hint-aware engine server.
     Hat(HatServer),
     /// Fixed-protocol accept loop.
-    Fixed { shutdown: Arc<AtomicBool>, thread: Option<std::thread::JoinHandle<()>>, fabric: Fabric, service: String },
+    Fixed {
+        shutdown: Arc<AtomicBool>,
+        thread: Option<std::thread::JoinHandle<()>>,
+        fabric: Fabric,
+        service: String,
+    },
     /// IPoIB accept loop.
-    Ipoib { shutdown: Arc<AtomicBool>, thread: Option<std::thread::JoinHandle<()>>, fabric: Fabric, service: String },
+    Ipoib {
+        shutdown: Arc<AtomicBool>,
+        thread: Option<std::thread::JoinHandle<()>>,
+        fabric: Fabric,
+        service: String,
+    },
 }
 
 impl AtbServer {
@@ -214,8 +224,7 @@ impl AtbServer {
                 let thread = std::thread::spawn(move || {
                     let mut conns = Vec::new();
                     while !flag.load(Ordering::Acquire) {
-                        let Ok(ep) =
-                            listener.accept_timeout(std::time::Duration::from_millis(50))
+                        let Ok(ep) = listener.accept_timeout(std::time::Duration::from_millis(50))
                         else {
                             continue;
                         };
@@ -379,11 +388,9 @@ mod tests {
 
     #[test]
     fn echo_roundtrip_every_mode() {
-        for mode in [
-            Mode::HatRpc,
-            Mode::Fixed(ProtocolKind::DirectWriteImm, PollMode::Busy),
-            Mode::Ipoib,
-        ] {
+        for mode in
+            [Mode::HatRpc, Mode::Fixed(ProtocolKind::DirectWriteImm, PollMode::Busy), Mode::Ipoib]
+        {
             let fabric = Fabric::new(SimConfig::fast_test());
             let snode = fabric.add_node("server");
             let cnode = fabric.add_node("client");

@@ -58,8 +58,7 @@ pub struct ThroughputResult {
 pub fn run_throughput(fabric: &Fabric, cfg: &ThroughputConfig) -> Result<ThroughputResult> {
     let snode = fabric.add_node("atb-thr-server");
     let schema = throughput_schema(cfg.payload, cfg.clients);
-    let server =
-        AtbServer::start(fabric, &snode, "atb-thr", cfg.mode, schema.clone(), cfg.payload);
+    let server = AtbServer::start(fabric, &snode, "atb-thr", cfg.mode, schema.clone(), cfg.payload);
 
     let client_nodes: Vec<_> = (0..cfg.client_nodes.max(1))
         .map(|i| fabric.add_node(&format!("atb-thr-client{i}")))

@@ -19,7 +19,8 @@ fn bench(c: &mut Criterion) {
 
     // Hinted path.
     {
-        let idl = r#"service E { hint: perf_goal = latency, payload_size = 512; binary f(1: binary p) }"#;
+        let idl =
+            r#"service E { hint: perf_goal = latency, payload_size = 512; binary f(1: binary p) }"#;
         let schema = ServiceSchema::parse(idl, "E").expect("idl");
         let fabric = Fabric::new(SimConfig::default());
         let sn = fabric.add_node("s");

@@ -7,8 +7,8 @@
 mod common;
 
 use criterion::Criterion;
-use hat_rdma_sim::numa;
 use hat_protocols::ProtocolKind;
+use hat_rdma_sim::numa;
 use hat_rdma_sim::PollMode;
 
 fn bench(c: &mut Criterion) {

@@ -5,7 +5,7 @@
 mod common;
 
 use criterion::{BenchmarkId, Criterion};
-use hat_protocols::{connect_client, accept_server, ProtocolConfig, ProtocolKind};
+use hat_protocols::{accept_server, connect_client, ProtocolConfig, ProtocolKind};
 use hat_rdma_sim::{Fabric, PollMode, SimConfig};
 
 fn bench(c: &mut Criterion) {
@@ -21,6 +21,7 @@ fn bench(c: &mut Criterion) {
             max_msg: 64 * 1024,
             ring_slots: 16,
             eager_threshold: threshold,
+            ..Default::default()
         };
         let scfg = cfg.clone();
         let server = std::thread::spawn(move || {
@@ -29,8 +30,7 @@ fn bench(c: &mut Criterion) {
             };
             let _ = s.serve_loop(&mut |r| r.to_vec());
         });
-        let mut client =
-            connect_client(ProtocolKind::HybridEagerRndv, cep, cfg).expect("client");
+        let mut client = connect_client(ProtocolKind::HybridEagerRndv, cep, cfg).expect("client");
         let payload = vec![9u8; PAYLOAD];
         client.call(&payload).expect("warmup");
         group.bench_with_input(

@@ -50,10 +50,8 @@ impl Drop for EchoPair {
         // Dropping the client disconnects; the serve loop exits.
         // (client is dropped as a field before the join below runs via
         // manual take ordering.)
-        let client = std::mem::replace(
-            &mut self.client,
-            Box::new(NullClient) as Box<dyn RpcClient>,
-        );
+        let client =
+            std::mem::replace(&mut self.client, Box::new(NullClient) as Box<dyn RpcClient>);
         drop(client);
         if let Some(t) = self.server_thread.take() {
             let _ = t.join();

@@ -23,11 +23,9 @@ fn bench(c: &mut Criterion) {
             let mut pair = common::EchoPair::new(kind, PollMode::Busy, size);
             let payload = vec![0x2Au8; size];
             pair.client.call(&payload).expect("warmup");
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), size),
-                &size,
-                |b, _| b.iter(|| pair.client.call(&payload).expect("echo")),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), size), &size, |b, _| {
+                b.iter(|| pair.client.call(&payload).expect("echo"))
+            });
         }
     }
     group.finish();

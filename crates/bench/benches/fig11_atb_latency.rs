@@ -23,11 +23,8 @@ fn bench(c: &mut Criterion) {
                 |b, &payload| {
                     b.iter(|| {
                         let fabric = Fabric::new(SimConfig::default());
-                        run_latency(
-                            &fabric,
-                            &LatencyConfig { mode, payload, warmup: 1, iters: 4 },
-                        )
-                        .expect("run")
+                        run_latency(&fabric, &LatencyConfig { mode, payload, warmup: 1, iters: 4 })
+                            .expect("run")
                     });
                 },
             );

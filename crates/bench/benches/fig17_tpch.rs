@@ -9,8 +9,7 @@ use hat_tpch::{all_queries, ClusterConfig, TpchCluster, TransportMode};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig17_tpch");
     let cfg = ClusterConfig { sf: 0.002, workers: 2, seed: 7 };
-    for mode in
-        [TransportMode::Ipoib, TransportMode::HatRpcService, TransportMode::HatRpcFunction]
+    for mode in [TransportMode::Ipoib, TransportMode::HatRpcService, TransportMode::HatRpcFunction]
     {
         let fabric = Fabric::new(SimConfig::default());
         let mut cluster = TpchCluster::start(&fabric, &cfg, mode);

@@ -236,10 +236,8 @@ fn fig_mix(scale: Scale, payload: usize, title: &str) -> Table {
         Scale::Quick => 16,
         Scale::Full => 32,
     };
-    let mut table = Table::new(
-        title,
-        &["stack", "clients", "fast mean(us)", "fast p99(us)", "bulk kops/s"],
-    );
+    let mut table =
+        Table::new(title, &["stack", "clients", "fast mean(us)", "fast p99(us)", "bulk kops/s"]);
     let mut modes = vec![Mode::HatRpc];
     modes.extend(atb_baselines());
     for mode in modes {
@@ -284,18 +282,10 @@ fn fig_ycsb(scale: Scale, workload_b: bool, title: &str) -> Table {
         Scale::Quick => (8, 2_000, 40),
         Scale::Full => (32, 20_000, 150),
     };
-    let mut table = Table::new(
-        title,
-        &["system", "kops/s", "Get us", "Put us", "MGet us", "MPut us"],
-    );
+    let mut table =
+        Table::new(title, &["system", "kops/s", "Get us", "Put us", "MGet us", "MPut us"]);
     for system in KvSystem::ALL {
-        let r = run_ycsb(&YcsbConfig {
-            system,
-            workload_b,
-            clients,
-            records,
-            ops_per_client: ops,
-        });
+        let r = run_ycsb(&YcsbConfig { system, workload_b, clients, records, ops_per_client: ops });
         table.row(vec![
             system.label().to_string(),
             format!("{:.2}", r.throughput_ops_s / 1000.0),
@@ -329,8 +319,7 @@ pub fn fig17_tpch(scale: Scale) -> Table {
         &["query", "Thrift/IPoIB", "HatRPC-Service", "HatRPC-Function", "F-speedup"],
     );
     let mut all: Vec<Vec<u64>> = Vec::new();
-    for mode in
-        [TransportMode::Ipoib, TransportMode::HatRpcService, TransportMode::HatRpcFunction]
+    for mode in [TransportMode::Ipoib, TransportMode::HatRpcService, TransportMode::HatRpcFunction]
     {
         let fabric = Fabric::new(SimConfig::default());
         let mut cluster = TpchCluster::start(&fabric, &cfg, mode);
@@ -364,10 +353,8 @@ pub fn fig17_tpch(scale: Scale) -> Table {
 /// §3.2 micro-claims: polling CPU cost and the in-bound/out-bound RDMA
 /// asymmetry, read off the simulator's counters.
 pub fn micro_section3() -> Table {
-    let mut table = Table::new(
-        "Section 3.2 micro-measurements",
-        &["measurement", "busy", "event", "note"],
-    );
+    let mut table =
+        Table::new("Section 3.2 micro-measurements", &["measurement", "busy", "event", "note"]);
     // CPU burned for a fixed number of echoes, busy vs event polling.
     let cpu_for = |poll: PollMode| {
         let fabric = Fabric::new(SimConfig::default());

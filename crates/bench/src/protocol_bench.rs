@@ -35,7 +35,12 @@ fn cfg_for(size: usize, poll: PollMode) -> ProtocolConfig {
 }
 
 /// Single-client echo latency for `(kind, poll, size)` in a fresh fabric.
-pub fn raw_latency(kind: ProtocolKind, poll: PollMode, size: usize, iters: usize) -> RawLatencyPoint {
+pub fn raw_latency(
+    kind: ProtocolKind,
+    poll: PollMode,
+    size: usize,
+    iters: usize,
+) -> RawLatencyPoint {
     let fabric = Fabric::new(SimConfig::default());
     raw_latency_impl(&fabric, kind, poll, size, iters)
 }
@@ -75,7 +80,11 @@ pub(crate) fn raw_latency_impl(
     }
     drop(client);
     drop(server.join().expect("server thread"));
-    RawLatencyPoint { mean_ns: hist.mean_ns(), p99_ns: hist.percentile_ns(99.0), min_ns: hist.min_ns() }
+    RawLatencyPoint {
+        mean_ns: hist.mean_ns(),
+        p99_ns: hist.percentile_ns(99.0),
+        min_ns: hist.min_ns(),
+    }
 }
 
 /// Multi-client echo throughput for `(kind, poll, size, clients)`.
@@ -184,12 +193,7 @@ mod tests {
         // noise that can exceed the few-microsecond modelled gap.
         let busy = raw_latency(ProtocolKind::EagerSendRecv, PollMode::Busy, 512, 16);
         let event = raw_latency(ProtocolKind::EagerSendRecv, PollMode::Event, 512, 16);
-        assert!(
-            busy.min_ns < event.min_ns,
-            "busy {} vs event {}",
-            busy.min_ns,
-            event.min_ns
-        );
+        assert!(busy.min_ns < event.min_ns, "busy {} vs event {}", busy.min_ns, event.min_ns);
     }
 
     #[test]

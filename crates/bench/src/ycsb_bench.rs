@@ -7,13 +7,13 @@ use hat_hatkv::comparators::{Comparator, ComparatorServer, RawKvClient};
 use hat_hatkv::server::{service_only_schema, HatKvServer, KvVariant};
 use hat_hatkv::{hat_k_v_schema, HatKVClient};
 use hat_idl::hints::Hint;
-use hatrpc_core::service::ServiceSchema;
 use hat_kvdb::{Database, DbConfig, SyncMode};
 use hat_protocols::ProtocolConfig;
 use hat_rdma_sim::{now_ns, Fabric, PollMode, SimConfig};
 use hat_ycsb::measure::RunMeasurement;
 use hat_ycsb::{Op, OpGenerator, OpType, WorkloadSpec};
 use hatrpc_core::engine::HatClient;
+use hatrpc_core::service::ServiceSchema;
 
 /// The six systems of Figures 15/16.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,7 +124,7 @@ fn schema_for(clients: usize, service_only: bool) -> ServiceSchema {
 }
 
 enum AnyKv {
-    Hat(HatKVClient),
+    Hat(Box<HatKVClient>),
     Raw(RawKvClient),
 }
 
@@ -209,33 +209,28 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
             // NOTE: setup panics here would strand the main thread at the
             // barrier; keep every fallible step before the barrier
             // infallible or .expect() only on genuinely impossible paths.
-            let mut client = match system {
-                KvSystem::HatRpcFunction => AnyKv::Hat(HatKVClient::new(HatClient::new(
-                    &fabric,
-                    &node,
-                    "kv",
-                    &schema_for(clients, false),
-                ))),
-                KvSystem::HatRpcService => AnyKv::Hat(HatKVClient::new(HatClient::new(
-                    &fabric,
-                    &node,
-                    "kv",
-                    &schema_for(clients, true),
-                ))),
-                other => {
-                    let comp = other.comparator().expect("comparator system");
-                    AnyKv::Raw(
-                        RawKvClient::connect(
-                            &fabric,
-                            &node,
-                            "kv",
-                            comp.protocol(),
-                            comparator_cfg(PollMode::Busy),
+            let mut client =
+                match system {
+                    KvSystem::HatRpcFunction => AnyKv::Hat(Box::new(HatKVClient::new(
+                        HatClient::new(&fabric, &node, "kv", &schema_for(clients, false)),
+                    ))),
+                    KvSystem::HatRpcService => AnyKv::Hat(Box::new(HatKVClient::new(
+                        HatClient::new(&fabric, &node, "kv", &schema_for(clients, true)),
+                    ))),
+                    other => {
+                        let comp = other.comparator().expect("comparator system");
+                        AnyKv::Raw(
+                            RawKvClient::connect(
+                                &fabric,
+                                &node,
+                                "kv",
+                                comp.protocol(),
+                                comparator_cfg(PollMode::Busy),
+                            )
+                            .expect("comparator connect"),
                         )
-                        .expect("comparator connect"),
-                    )
-                }
-            };
+                    }
+                };
             let mut generator = OpGenerator::new(spec, c as u64 + 1);
             // Warm all channels outside the measured window.
             for warm in [
@@ -270,9 +265,8 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
         Server::Comp(s) => s.shutdown(),
     }
 
-    let mean_us = [OpType::Get, OpType::Put, OpType::MultiGet, OpType::MultiPut].map(|t| {
-        aggregate.histogram(t).map_or(0.0, |h| h.mean_ns() as f64 / 1000.0)
-    });
+    let mean_us = [OpType::Get, OpType::Put, OpType::MultiGet, OpType::MultiPut]
+        .map(|t| aggregate.histogram(t).map_or(0.0, |h| h.mean_ns() as f64 / 1000.0));
     YcsbPoint { throughput_ops_s: aggregate.throughput_ops_s(), mean_us, measurement: aggregate }
 }
 

@@ -84,10 +84,8 @@ mod tests {
 
     #[test]
     fn containers_and_maps_generate() {
-        let code = generate_file(
-            "service S { map<string, list<i64>> stats(1: set<i32> ids) }",
-        )
-        .unwrap();
+        let code =
+            generate_file("service S { map<string, list<i64>> stats(1: set<i32> ids) }").unwrap();
         assert!(code.contains("std::collections::BTreeMap<String, Vec<i64>>"));
         assert!(code.contains("std::collections::BTreeSet<i32>"));
     }

@@ -15,8 +15,7 @@ use crate::protocol::{TInputProtocol, TMessageType, TOutputProtocol, TType};
 
 /// A method body: reads its arguments from `input` and writes its result
 /// struct to `output` (header handling is the router's job).
-pub type MethodFn =
-    Box<dyn FnMut(&mut BinaryIn<'_>, &mut BinaryOut) -> Result<()> + Send>;
+pub type MethodFn = Box<dyn FnMut(&mut BinaryIn<'_>, &mut BinaryOut) -> Result<()> + Send>;
 
 /// Routes Thrift messages to method bodies.
 #[derive(Default)]
@@ -120,11 +119,7 @@ pub fn exception_reply(method: &str, seq: i32, message: &str) -> Vec<u8> {
 }
 
 /// Encode a request message: header + caller-provided args writer.
-pub fn encode_call(
-    method: &str,
-    seq: i32,
-    write_args: impl FnOnce(&mut BinaryOut),
-) -> Vec<u8> {
+pub fn encode_call(method: &str, seq: i32, write_args: impl FnOnce(&mut BinaryOut)) -> Vec<u8> {
     let mut out = BinaryOut::new();
     out.write_message_begin(method, TMessageType::Call, seq);
     write_args(&mut out);
@@ -267,9 +262,8 @@ mod tests {
 
     #[test]
     fn handler_error_becomes_exception_reply() {
-        let mut router = Router::new().add("boom", |_i, _o| {
-            Err(CoreError::Application("kaput".into()))
-        });
+        let mut router =
+            Router::new().add("boom", |_i, _o| Err(CoreError::Application("kaput".into())));
         let req = encode_call("boom", 1, |out| out.write_field_stop());
         let reply = router.handle(&req);
         let err = decode_reply(&reply, 1, |_| Ok(())).unwrap_err();

@@ -21,10 +21,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hat_idl::hints::{ResolvedHints, Side, TransportHint};
-use hat_protocols::{
-    accept_server, connect_client, ProtocolConfig, ProtocolKind, RpcClient,
-};
-use hat_rdma_sim::{numa, Fabric, Node, PollMode, RdmaError};
+use hat_protocols::{accept_server, connect_client, ProtocolConfig, ProtocolKind, RpcClient};
+use hat_rdma_sim::{numa, Fabric, Node, NodeStats, PollMode, RdmaError};
 
 use crate::error::{CoreError, Result};
 use crate::selection::{select_protocol, Selection, SubscriptionBounds};
@@ -146,11 +144,7 @@ const UNHINTED_CHANNEL_MSG: u64 = 64 * 1024;
 /// Headroom for the Thrift message envelope around a hinted payload.
 const ENVELOPE_SLACK: u64 = 512;
 
-fn plan_for(
-    schema: &ServiceSchema,
-    func: &str,
-    bounds: &SubscriptionBounds,
-) -> FnPlan {
+fn plan_for(schema: &ServiceSchema, func: &str, bounds: &SubscriptionBounds) -> FnPlan {
     let client = schema.resolved(func, Side::Client);
     let server = schema.resolved(func, Side::Server);
     let selection = select_protocol(&client, bounds);
@@ -177,6 +171,53 @@ fn plan_for(
     }
 }
 
+/// Per-call failure policy: how long a single attempt may block, how many
+/// times a failed attempt is retried over a fresh connection, and how long
+/// to back off between attempts (doubling each retry).
+///
+/// Retries reconnect from scratch, so they are safe exactly when the call
+/// is idempotent — the engine cannot know whether a timed-out request was
+/// executed before the failure. The default policy therefore never
+/// retries; callers opt in per client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallPolicy {
+    /// Deadline for each blocking wait inside one call attempt. A dead or
+    /// silent peer surfaces as [`RdmaError::Timeout`] / [`RdmaError::QpError`]
+    /// instead of hanging.
+    pub deadline: std::time::Duration,
+    /// Number of reconnect-and-retry attempts after a retryable transport
+    /// failure (timeout, disconnect, QP error, service not yet listening).
+    pub retries: u32,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub backoff: std::time::Duration,
+}
+
+impl Default for CallPolicy {
+    fn default() -> Self {
+        CallPolicy {
+            deadline: std::time::Duration::from_secs(30),
+            retries: 0,
+            backoff: std::time::Duration::from_millis(2),
+        }
+    }
+}
+
+/// Transport failures worth retrying over a fresh connection: the peer
+/// vanished, the QP broke, the call timed out, or the service is not
+/// (re-)registered yet. Application errors and protocol violations are not
+/// retried — repeating them cannot succeed.
+fn is_retryable(e: &CoreError) -> bool {
+    matches!(
+        e,
+        CoreError::Rdma(
+            RdmaError::Timeout
+                | RdmaError::Disconnected
+                | RdmaError::QpError(_)
+                | RdmaError::NoSuchService(_)
+        )
+    )
+}
+
 /// The hint-aware RPC client. One instance per calling thread (plans are
 /// shared-nothing; channels are lazily opened).
 pub struct HatClient {
@@ -187,6 +228,7 @@ pub struct HatClient {
     default_plan: FnPlan,
     channels: HashMap<ChannelKey, Box<dyn ClientTransport>>,
     bounds: SubscriptionBounds,
+    policy: CallPolicy,
     /// Core chosen when a plan requests NUMA binding.
     bind_core: u32,
 }
@@ -231,8 +273,26 @@ impl HatClient {
             default_plan,
             channels: HashMap::new(),
             bounds,
+            policy: CallPolicy::default(),
             bind_core,
         }
+    }
+
+    /// Builder-style call-policy override.
+    pub fn with_policy(mut self, policy: CallPolicy) -> HatClient {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the call policy on a live client (applies to channels opened
+    /// from now on; already-open channels keep their negotiated deadline).
+    pub fn set_call_policy(&mut self, policy: CallPolicy) {
+        self.policy = policy;
+    }
+
+    /// The call policy in use.
+    pub fn call_policy(&self) -> CallPolicy {
+        self.policy
     }
 
     /// The subscription bounds in use.
@@ -269,21 +329,58 @@ impl HatClient {
     }
 
     /// Issue one RPC: route `request` through the channel selected by
-    /// `func`'s cached plan.
+    /// `func`'s cached plan, honoring the client's [`CallPolicy`] — every
+    /// blocking wait is bounded by the policy deadline, and retryable
+    /// transport failures are retried over a fresh connection (with
+    /// doubling backoff) up to `policy.retries` times.
     pub fn call(&mut self, func: &str, request: &[u8]) -> Result<Vec<u8>> {
         let mut plan = self.plans.get(func).unwrap_or(&self.default_plan).clone();
         // A request larger than the hinted buffer upgrades to a larger
         // channel rather than failing: mis-hinted payloads cost extra
         // connections and pinned memory, not correctness.
-        let required = (request.len() as u64 + ENVELOPE_SLACK)
-            .next_power_of_two()
-            .max(MIN_CHANNEL_MSG);
+        let required =
+            (request.len() as u64 + ENVELOPE_SLACK).next_power_of_two().max(MIN_CHANNEL_MSG);
         if required > plan.max_msg {
             plan.max_msg = required;
             plan.key.max_msg = required;
         }
+        let policy = self.policy;
+        let mut backoff = policy.backoff;
+        let mut attempts_left = policy.retries;
+        loop {
+            match self.call_attempt(&plan, func, request) {
+                Ok(resp) => {
+                    NodeStats::add(&self.node.stats().calls_ok, 1);
+                    return Ok(resp);
+                }
+                Err(e) if attempts_left > 0 && is_retryable(&e) => {
+                    attempts_left -= 1;
+                    NodeStats::add(&self.node.stats().calls_retried, 1);
+                    // The cached channel is poisoned — drop it so the next
+                    // attempt reconnects and re-runs the handshake.
+                    self.channels.remove(&plan.key);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+                Err(e) => {
+                    let counter = if matches!(e, CoreError::Rdma(RdmaError::Timeout)) {
+                        &self.node.stats().calls_timed_out
+                    } else {
+                        &self.node.stats().calls_failed
+                    };
+                    NodeStats::add(counter, 1);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One attempt: (re)open the plan's channel if needed and run the call.
+    fn call_attempt(&mut self, plan: &FnPlan, func: &str, request: &[u8]) -> Result<Vec<u8>> {
         if !self.channels.contains_key(&plan.key) {
-            let channel = self.open_channel(&plan, func)?;
+            let channel = self.open_channel(plan, func)?;
             self.channels.insert(plan.key.clone(), channel);
         }
         let channel = self.channels.get_mut(&plan.key).expect("just inserted");
@@ -305,7 +402,11 @@ impl HatClient {
             eager_threshold: ENGINE_EAGER_THRESHOLD as u32,
             fn_scope: func.to_string(),
         };
-        let ack = hat_protocols::exchange_blobs(&ep, &preamble.encode())?;
+        let ack = hat_protocols::exchange_blobs_deadline(
+            &ep,
+            &preamble.encode(),
+            self.policy.deadline.as_nanos() as u64,
+        )?;
         if ack != b"hatrpc-ok" {
             return Err(CoreError::Protocol("bad preamble ack".into()));
         }
@@ -314,6 +415,7 @@ impl HatClient {
             max_msg: plan.max_msg as usize,
             ring_slots: ENGINE_RING_SLOTS,
             eager_threshold: ENGINE_EAGER_THRESHOLD,
+            op_timeout_ns: self.policy.deadline.as_nanos() as u64,
         };
         let client = connect_client(plan.selection.protocol, ep, cfg)?;
         Ok(Box::new(RdmaCall { inner: client }))
@@ -440,9 +542,8 @@ impl HatServer {
                         ServerPolicy::Simple => serve_connection(item, &factory),
                         ServerPolicy::Threaded => {
                             let factory = factory.clone();
-                            conn_threads.push(std::thread::spawn(move || {
-                                serve_connection(item, &factory)
-                            }));
+                            conn_threads
+                                .push(std::thread::spawn(move || serve_connection(item, &factory)));
                         }
                         ServerPolicy::ThreadPool(_) => {
                             let _ = pool_tx.as_ref().expect("pool created").send(item);
@@ -465,8 +566,7 @@ impl HatServer {
             threads.push(std::thread::spawn(move || {
                 let mut conn_threads = Vec::new();
                 while !shutdown.load(Ordering::Acquire) {
-                    let Ok(stream) =
-                        listener.accept_timeout(std::time::Duration::from_millis(50))
+                    let Ok(stream) = listener.accept_timeout(std::time::Duration::from_millis(50))
                     else {
                         continue;
                     };
@@ -541,6 +641,7 @@ fn negotiate(ep: hat_rdma_sim::Endpoint, schema: &ServiceSchema) -> Result<WorkI
         max_msg: preamble.max_msg as usize,
         ring_slots: preamble.ring_slots as usize,
         eager_threshold: preamble.eager_threshold as usize,
+        ..ProtocolConfig::default()
     };
     let bind_core = ep.node().topology().nic_node * ep.node().topology().cores_per_numa();
     let server = accept_server(preamble.kind, ep, cfg)?;

@@ -10,6 +10,10 @@ pub enum CoreError {
     Rdma(RdmaError),
     /// Serialization/deserialization failure.
     Protocol(String),
+    /// Malformed stream framing: a length header exceeding the negotiated
+    /// maximum, or a frame truncated mid-message. The peer cannot make the
+    /// receiver allocate unbounded memory by lying in the header.
+    Frame(String),
     /// The server raised a Thrift application exception.
     Application(String),
     /// Request named a method the service does not implement.
@@ -23,6 +27,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Rdma(e) => write!(f, "transport error: {e}"),
             CoreError::Protocol(m) => write!(f, "protocol error: {m}"),
+            CoreError::Frame(m) => write!(f, "framing error: {m}"),
             CoreError::Application(m) => write!(f, "application exception: {m}"),
             CoreError::UnknownMethod(m) => write!(f, "unknown method '{m}'"),
             CoreError::Config(m) => write!(f, "configuration error: {m}"),
@@ -58,6 +63,7 @@ mod tests {
         assert!(e.to_string().contains("timed out"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&CoreError::Protocol("x".into())).is_none());
+        assert!(CoreError::Frame("too big".into()).to_string().contains("framing"));
     }
 
     #[test]

@@ -51,8 +51,10 @@ pub mod service;
 pub mod transport;
 
 pub use dispatch::{decode_reply, encode_call, Router};
-pub use engine::{HatClient, HatServer, ServerPolicy};
+pub use engine::{CallPolicy, HatClient, HatServer, ServerPolicy};
 pub use error::{CoreError, Result};
 pub use selection::{select_protocol, Selection, SubscriptionBounds};
 pub use service::ServiceSchema;
-pub use transport::{ClientTransport, ServerTransport, TSocket};
+pub use transport::{
+    read_frame, write_frame, ClientTransport, ServerTransport, TSocket, DEFAULT_MAX_FRAME,
+};

@@ -220,8 +220,7 @@ impl TOutputProtocol for CompactOut {
             return;
         }
         self.write_varint(len as u64);
-        self.buf
-            .push(((CType::from_ttype(key) as u8) << 4) | CType::from_ttype(val) as u8);
+        self.buf.push(((CType::from_ttype(key) as u8) << 4) | CType::from_ttype(val) as u8);
     }
 }
 

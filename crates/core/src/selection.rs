@@ -153,7 +153,10 @@ mod tests {
             assert_eq!(s.protocol, ProtocolKind::DirectWriteImm, "conc {conc}");
         }
         // Event polling past under-subscription.
-        assert_eq!(select_protocol(&hints(PerfGoal::Throughput, 64, 512), &b).poll, PollMode::Event);
+        assert_eq!(
+            select_protocol(&hints(PerfGoal::Throughput, 64, 512), &b).poll,
+            PollMode::Event
+        );
         assert_eq!(select_protocol(&hints(PerfGoal::Throughput, 8, 512), &b).poll, PollMode::Busy);
     }
 
@@ -163,7 +166,10 @@ mod tests {
         // RFP + event above.
         let b = SubscriptionBounds::default();
         let under = select_protocol(&hints(PerfGoal::Throughput, 16, 128 * 1024), &b);
-        assert_eq!(under, Selection { protocol: ProtocolKind::DirectWriteImm, poll: PollMode::Busy });
+        assert_eq!(
+            under,
+            Selection { protocol: ProtocolKind::DirectWriteImm, poll: PollMode::Busy }
+        );
         let over = select_protocol(&hints(PerfGoal::Throughput, 17, 128 * 1024), &b);
         assert_eq!(over, Selection { protocol: ProtocolKind::Rfp, poll: PollMode::Event });
     }

@@ -76,10 +76,7 @@ mod tests {
     fn schema_from_idl_source() {
         let schema = ServiceSchema::parse(IDL, "Store").unwrap();
         assert_eq!(schema.name, "Store");
-        assert_eq!(
-            schema.function_names().collect::<Vec<_>>(),
-            vec!["get", "put", "heartbeat"]
-        );
+        assert_eq!(schema.function_names().collect::<Vec<_>>(), vec!["get", "put", "heartbeat"]);
         assert!(ServiceSchema::parse(IDL, "Missing").is_none());
         assert!(ServiceSchema::parse("not idl {{", "Store").is_none());
     }

@@ -44,9 +44,21 @@ pub trait ServerTransport: Send {
     }
 }
 
+/// Largest frame the socket transports accept without an explicit
+/// negotiated limit. Generous (the engine's biggest channel is 256 KB)
+/// while still bounding what a lying length header can make the receiver
+/// allocate.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
 /// Length-prefix framing over a byte stream (what `TFramedTransport`
 /// contributes in the Thrift stack).
-fn write_frame(stream: &IpoibStream, msg: &[u8]) -> Result<()> {
+pub fn write_frame(stream: &IpoibStream, msg: &[u8]) -> Result<()> {
+    if msg.len() > u32::MAX as usize {
+        return Err(CoreError::Frame(format!(
+            "message of {} bytes cannot be framed with a u32 length header",
+            msg.len()
+        )));
+    }
     let mut frame = Vec::with_capacity(4 + msg.len());
     frame.extend_from_slice(&(msg.len() as u32).to_le_bytes());
     frame.extend_from_slice(msg);
@@ -54,7 +66,13 @@ fn write_frame(stream: &IpoibStream, msg: &[u8]) -> Result<()> {
     Ok(())
 }
 
-fn read_frame(stream: &IpoibStream) -> Result<Option<Vec<u8>>> {
+/// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF
+/// between frames. The peer-supplied length header is validated against
+/// `max_frame` *before* any allocation, and a stream ending mid-header or
+/// mid-body surfaces as a typed [`CoreError::Frame`] — a malicious or
+/// corrupt peer can neither trigger an unbounded allocation nor have a
+/// truncated message pass for a complete one.
+pub fn read_frame(stream: &IpoibStream, max_frame: usize) -> Result<Option<Vec<u8>>> {
     let mut hdr = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
@@ -63,13 +81,25 @@ fn read_frame(stream: &IpoibStream) -> Result<Option<Vec<u8>>> {
             if filled == 0 {
                 return Ok(None); // clean EOF between frames
             }
-            return Err(CoreError::Rdma(RdmaError::Disconnected));
+            return Err(CoreError::Frame(format!("stream ended mid-header ({filled} of 4 bytes)")));
         }
         filled += n;
     }
     let len = u32::from_le_bytes(hdr) as usize;
+    if len > max_frame {
+        return Err(CoreError::Frame(format!(
+            "frame header claims {len} bytes, exceeding the {max_frame}-byte limit"
+        )));
+    }
     let mut msg = vec![0u8; len];
-    stream.read_exact(&mut msg)?;
+    let mut got = 0;
+    while got < len {
+        let n = stream.read(&mut msg[got..])?;
+        if n == 0 {
+            return Err(CoreError::Frame(format!("stream ended mid-frame ({got} of {len} bytes)")));
+        }
+        got += n;
+    }
     Ok(Some(msg))
 }
 
@@ -93,7 +123,7 @@ impl TSocket {
 impl ClientTransport for TSocket {
     fn call(&mut self, _fn_name: &str, request: &[u8]) -> Result<Vec<u8>> {
         write_frame(&self.stream, request)?;
-        read_frame(&self.stream)?.ok_or(CoreError::Rdma(RdmaError::Disconnected))
+        read_frame(&self.stream, DEFAULT_MAX_FRAME)?.ok_or(CoreError::Rdma(RdmaError::Disconnected))
     }
 
     fn label(&self) -> &'static str {
@@ -132,7 +162,9 @@ impl TServerSocket {
 
 impl ServerTransport for TServerSocket {
     fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool> {
-        let Some(request) = read_frame(&self.stream)? else { return Ok(false) };
+        let Some(request) = read_frame(&self.stream, DEFAULT_MAX_FRAME)? else {
+            return Ok(false);
+        };
         let response = handler(&request);
         write_frame(&self.stream, &response)?;
         Ok(true)
@@ -242,6 +274,50 @@ mod tests {
         assert_eq!(client.call("f", b"zz").unwrap(), b"zz");
         assert_eq!(client.label(), "trdma-fixed");
         h.join().unwrap();
+    }
+
+    fn stream_pair(fabric: &Fabric) -> (IpoibStream, IpoibStream) {
+        let snode = fabric.add_node("server");
+        let cnode = fabric.add_node("client");
+        let listener = TServerSocket::listen(fabric, &snode, "raw");
+        let cs = fabric.dial_ipoib(&cnode, "raw").unwrap();
+        let ss = listener.accept().unwrap();
+        (cs, ss)
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected_before_allocation() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let (cs, ss) = stream_pair(&fabric);
+        // A lying header claiming ~4 GB must not cause a 4 GB allocation.
+        cs.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let err = read_frame(&ss, 1024).unwrap_err();
+        assert!(matches!(err, CoreError::Frame(_)), "got {err:?}");
+        assert!(err.to_string().contains("exceeding"));
+    }
+
+    #[test]
+    fn truncated_frame_surfaces_typed_error() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let (cs, ss) = stream_pair(&fabric);
+        // Header promises 10 bytes; only 3 arrive before the peer closes.
+        cs.write_all(&10u32.to_le_bytes()).unwrap();
+        cs.write_all(b"abc").unwrap();
+        cs.close();
+        let err = read_frame(&ss, 1024).unwrap_err();
+        assert!(matches!(err, CoreError::Frame(_)), "got {err:?}");
+        assert!(err.to_string().contains("mid-frame"));
+    }
+
+    #[test]
+    fn truncated_header_surfaces_typed_error() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let (cs, ss) = stream_pair(&fabric);
+        cs.write_all(&[1, 2]).unwrap(); // half a header
+        cs.close();
+        let err = read_frame(&ss, 1024).unwrap_err();
+        assert!(matches!(err, CoreError::Frame(_)), "got {err:?}");
+        assert!(err.to_string().contains("mid-header"));
     }
 
     #[test]

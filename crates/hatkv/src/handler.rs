@@ -68,10 +68,8 @@ impl HatKVHandler for KvStoreHandler {
     }
 
     fn multiget(&mut self, keys: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>> {
-        let read = self
-            .db
-            .begin_read()
-            .map_err(|e| CoreError::Application(format!("kvdb: {e}")))?;
+        let read =
+            self.db.begin_read().map_err(|e| CoreError::Application(format!("kvdb: {e}")))?;
         Ok(keys.iter().map(|k| read.get(k).unwrap_or_else(|| MISS.to_vec())).collect())
     }
 

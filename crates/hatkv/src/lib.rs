@@ -19,6 +19,9 @@
 //! deployment in [`comparators`].
 
 pub mod comparators;
+// Codegen output is compared byte-for-byte against a fresh `hatc` run by
+// `generated_code_is_current`; keep rustfmt away from it.
+#[rustfmt::skip]
 pub mod generated;
 pub mod handler;
 pub mod server;

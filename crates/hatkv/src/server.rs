@@ -2,10 +2,10 @@
 
 use std::sync::Arc;
 
+use hat_kvdb::Database;
 use hat_rdma_sim::{Fabric, Node};
 use hatrpc_core::engine::{HatServer, ServerPolicy};
 use hatrpc_core::service::ServiceSchema;
-use hat_kvdb::Database;
 
 use crate::generated::{hat_k_v_schema, HatKVProcessor};
 use crate::handler::KvStoreHandler;

@@ -309,7 +309,11 @@ pub fn resolve_with_warnings(
 mod tests {
     use super::*;
 
-    fn block(shared: &[(&str, &str)], server: &[(&str, &str)], client: &[(&str, &str)]) -> HintBlock {
+    fn block(
+        shared: &[(&str, &str)],
+        server: &[(&str, &str)],
+        client: &[(&str, &str)],
+    ) -> HintBlock {
         let mk = |ps: &[(&str, &str)]| {
             ps.iter().map(|(k, v)| Hint { key: k.to_string(), value: v.to_string() }).collect()
         };
@@ -318,11 +322,8 @@ mod tests {
 
     #[test]
     fn lateral_split_overrides_shared() {
-        let b = block(
-            &[("polling", "busy"), ("perf_goal", "latency")],
-            &[("polling", "event")],
-            &[],
-        );
+        let b =
+            block(&[("polling", "busy"), ("perf_goal", "latency")], &[("polling", "event")], &[]);
         let server = HintSet::from_block(&b, Side::Server, &mut Vec::new());
         assert_eq!(server.polling, Some(PollingHint::Event));
         assert_eq!(server.perf_goal, Some(PerfGoal::Latency));

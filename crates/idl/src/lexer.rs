@@ -164,11 +164,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     err!("unterminated string literal");
                 }
                 let s = std::str::from_utf8(&bytes[start..i])
-                    .map_err(|_| LexError {
-                        message: "invalid UTF-8 in string".into(),
-                        line,
-                        col,
-                    })?
+                    .map_err(|_| LexError { message: "invalid UTF-8 in string".into(), line, col })?
                     .to_string();
                 advance(&mut i, &mut line, &mut col, 1);
                 tokens.push(Token { kind: TokenKind::StrLit(s), line: tline, col: tcol });
@@ -211,29 +207,39 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 let text = &src[start..i];
                 if is_double || text.contains(['e', 'E']) && !text.starts_with("0x") {
                     match text.parse::<f64>() {
-                        Ok(v) => tokens
-                            .push(Token { kind: TokenKind::DoubleLit(v), line: tline, col: tcol }),
+                        Ok(v) => tokens.push(Token {
+                            kind: TokenKind::DoubleLit(v),
+                            line: tline,
+                            col: tcol,
+                        }),
                         Err(_) => err!("malformed numeric literal '{text}'"),
                     }
                 } else if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
                     match i64::from_str_radix(hex, 16) {
-                        Ok(v) => tokens
-                            .push(Token { kind: TokenKind::IntLit(v), line: tline, col: tcol }),
+                        Ok(v) => tokens.push(Token {
+                            kind: TokenKind::IntLit(v),
+                            line: tline,
+                            col: tcol,
+                        }),
                         Err(_) => err!("malformed hex literal '{text}'"),
                     }
                 } else {
                     match text.parse::<i64>() {
-                        Ok(v) => tokens
-                            .push(Token { kind: TokenKind::IntLit(v), line: tline, col: tcol }),
+                        Ok(v) => tokens.push(Token {
+                            kind: TokenKind::IntLit(v),
+                            line: tline,
+                            col: tcol,
+                        }),
                         // Unit-suffixed values like `1K` / `10M` appear as
                         // hint values (payload_size); surface them as
                         // identifier-like tokens for the hint parser.
-                        Err(_) if text.chars().all(|c| c.is_ascii_alphanumeric()) => tokens
-                            .push(Token {
+                        Err(_) if text.chars().all(|c| c.is_ascii_alphanumeric()) => {
+                            tokens.push(Token {
                                 kind: TokenKind::Ident(text.to_string()),
                                 line: tline,
                                 col: tcol,
-                            }),
+                            })
+                        }
                         Err(_) => err!("malformed integer literal '{text}'"),
                     }
                 }

@@ -445,7 +445,10 @@ mod tests {
         .unwrap();
         assert_eq!(doc.typedefs[0].name, "Timestamp");
         assert_eq!(doc.consts[0].value, ConstValue::Int(10));
-        assert_eq!(doc.enums[0].variants, vec![("OK".into(), 0), ("MISS".into(), 1), ("ERROR".into(), 2)]);
+        assert_eq!(
+            doc.enums[0].variants,
+            vec![("OK".into(), 0), ("MISS".into(), 1), ("ERROR".into(), 2)]
+        );
         assert_eq!(doc.structs[0].fields.len(), 2);
         assert_eq!(doc.structs[0].fields[0].req, Requiredness::Required);
         assert_eq!(doc.exceptions[0].name, "KvError");
@@ -453,10 +456,9 @@ mod tests {
 
     #[test]
     fn parses_container_types() {
-        let doc = parse(
-            "struct C { 1: list<i32> a; 2: map<string, list<i64>> b; 3: set<binary> c; }",
-        )
-        .unwrap();
+        let doc =
+            parse("struct C { 1: list<i32> a; 2: map<string, list<i64>> b; 3: set<binary> c; }")
+                .unwrap();
         let f = &doc.structs[0].fields;
         assert_eq!(f[0].ty, Type::List(Box::new(Type::I32)));
         assert_eq!(

@@ -84,8 +84,7 @@ fn render_hints(block: &HintBlock, indent: &str) -> String {
         if hints.is_empty() {
             return String::new();
         }
-        let pairs: Vec<String> =
-            hints.iter().map(|h| format!("{} = {}", h.key, h.value)).collect();
+        let pairs: Vec<String> = hints.iter().map(|h| format!("{} = {}", h.key, h.value)).collect();
         format!("{indent}{kw}: {};\n", pairs.join(", "))
     };
     format!(
@@ -106,12 +105,7 @@ fn render_service(svc: &Service) -> String {
             .enumerate()
             .map(|(i, a)| format!("{}: {} {}", i + 1, render_type(&a.ty), a.name))
             .collect();
-        out.push_str(&format!(
-            "    {} {}({})",
-            render_type(&f.ret),
-            f.name,
-            args.join(", ")
-        ));
+        out.push_str(&format!("    {} {}({})", render_type(&f.ret), f.name, args.join(", ")));
         if !f.hints.is_empty() {
             out.push_str(&format!(" [\n{}    ]", render_hints(&f.hints, "        ")));
         }

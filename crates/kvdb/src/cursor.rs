@@ -54,7 +54,9 @@ impl<'a> Cursor<'a> {
     fn advance_leaf(&mut self) {
         self.leaf = None;
         while let Some((branch, next_idx)) = self.stack.pop() {
-            let Node::Branch { children, .. } = branch else { unreachable!("stack holds branches") };
+            let Node::Branch { children, .. } = branch else {
+                unreachable!("stack holds branches")
+            };
             if next_idx < children.len() {
                 self.stack.push((branch, next_idx + 1));
                 // Descend to the leftmost leaf of this child.
@@ -82,7 +84,9 @@ impl Iterator for Cursor<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             let (leaf, i) = self.leaf?;
-            let Node::Leaf { keys, vals, .. } = leaf else { unreachable!("leaf slot holds leaves") };
+            let Node::Leaf { keys, vals, .. } = leaf else {
+                unreachable!("leaf slot holds leaves")
+            };
             if i >= keys.len() {
                 self.advance_leaf();
                 continue;

@@ -40,13 +40,16 @@ impl Node {
         }
     }
 
+    /// True when the subtree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Tree depth below (and including) this node.
     pub fn depth(&self) -> usize {
         match self {
             Node::Leaf { .. } => 1,
-            Node::Branch { children, .. } => {
-                1 + children.first().map_or(0, |c| c.depth())
-            }
+            Node::Branch { children, .. } => 1 + children.first().map_or(0, |c| c.depth()),
         }
     }
 
@@ -104,34 +107,32 @@ pub fn insert(root: &mut Arc<Node>, key: &[u8], value: &[u8]) -> bool {
 fn insert_into(node: &mut Arc<Node>, key: &[u8], value: &[u8]) -> InsertResult {
     let n = Arc::make_mut(node);
     match n {
-        Node::Leaf { keys, vals, count } => {
-            match keys.binary_search_by(|k| k.as_ref().cmp(key)) {
-                Ok(i) => {
-                    vals[i] = value.into();
-                    InsertResult::Done { grew: false }
-                }
-                Err(i) => {
-                    keys.insert(i, key.into());
-                    vals.insert(i, value.into());
-                    *count += 1;
-                    if keys.len() > ORDER {
-                        let mid = keys.len() / 2;
-                        let right_keys: Vec<Key> = keys.split_off(mid);
-                        let right_vals: Vec<Val> = vals.split_off(mid);
-                        let sep = right_keys[0].clone();
-                        *count = keys.len();
-                        let right = Arc::new(Node::Leaf {
-                            count: right_keys.len(),
-                            keys: right_keys,
-                            vals: right_vals,
-                        });
-                        InsertResult::Split { sep, right, grew: true }
-                    } else {
-                        InsertResult::Done { grew: true }
-                    }
+        Node::Leaf { keys, vals, count } => match keys.binary_search_by(|k| k.as_ref().cmp(key)) {
+            Ok(i) => {
+                vals[i] = value.into();
+                InsertResult::Done { grew: false }
+            }
+            Err(i) => {
+                keys.insert(i, key.into());
+                vals.insert(i, value.into());
+                *count += 1;
+                if keys.len() > ORDER {
+                    let mid = keys.len() / 2;
+                    let right_keys: Vec<Key> = keys.split_off(mid);
+                    let right_vals: Vec<Val> = vals.split_off(mid);
+                    let sep = right_keys[0].clone();
+                    *count = keys.len();
+                    let right = Arc::new(Node::Leaf {
+                        count: right_keys.len(),
+                        keys: right_keys,
+                        vals: right_vals,
+                    });
+                    InsertResult::Split { sep, right, grew: true }
+                } else {
+                    InsertResult::Done { grew: true }
                 }
             }
-        }
+        },
         Node::Branch { keys, children, count } => {
             let i = child_index(keys, key);
             let result = insert_into(&mut children[i], key, value);
@@ -185,17 +186,15 @@ pub fn remove(root: &mut Arc<Node>, key: &[u8]) -> bool {
 fn remove_from(node: &mut Arc<Node>, key: &[u8]) -> bool {
     let n = Arc::make_mut(node);
     match n {
-        Node::Leaf { keys, vals, count } => {
-            match keys.binary_search_by(|k| k.as_ref().cmp(key)) {
-                Ok(i) => {
-                    keys.remove(i);
-                    vals.remove(i);
-                    *count -= 1;
-                    true
-                }
-                Err(_) => false,
+        Node::Leaf { keys, vals, count } => match keys.binary_search_by(|k| k.as_ref().cmp(key)) {
+            Ok(i) => {
+                keys.remove(i);
+                vals.remove(i);
+                *count -= 1;
+                true
             }
-        }
+            Err(_) => false,
+        },
         Node::Branch { keys, children, count } => {
             let i = child_index(keys, key);
             let removed = remove_from(&mut children[i], key);
@@ -219,10 +218,7 @@ fn merge_children(keys: &mut Vec<Key>, children: &mut Vec<Arc<Node>>, j: usize) 
     let sep = keys.remove(j);
     let left = Arc::make_mut(&mut children[j]);
     match (left, right.as_ref()) {
-        (
-            Node::Leaf { keys: lk, vals: lv, count: lc },
-            Node::Leaf { keys: rk, vals: rv, .. },
-        ) => {
+        (Node::Leaf { keys: lk, vals: lv, count: lc }, Node::Leaf { keys: rk, vals: rv, .. }) => {
             lk.extend(rk.iter().cloned());
             lv.extend(rv.iter().cloned());
             *lc = lk.len();

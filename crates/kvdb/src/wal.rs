@@ -10,9 +10,9 @@
 //! uses).
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
 #[cfg(test)]
 use std::io::Read;
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use crate::SyncMode;
@@ -194,8 +194,9 @@ mod tests {
     fn torn_tail_is_discarded_on_recovery() {
         let path = temp_path("torn");
         {
-            let db = Database::open(&path, DbConfig { sync_mode: SyncMode::Sync, ..Default::default() })
-                .unwrap();
+            let db =
+                Database::open(&path, DbConfig { sync_mode: SyncMode::Sync, ..Default::default() })
+                    .unwrap();
             let mut txn = db.begin_write().unwrap();
             txn.put(b"good", b"committed");
             txn.commit();

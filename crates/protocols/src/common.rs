@@ -1,9 +1,7 @@
 //! Shared protocol machinery: the client/server traits, configuration,
 //! control-message rings, and the out-of-band handshake.
 
-use hat_rdma_sim::{
-    Endpoint, MemoryRegion, PollMode, RdmaError, RecvWr, Result, SendWr,
-};
+use hat_rdma_sim::{Endpoint, MemoryRegion, PollMode, RdmaError, RecvWr, Result, SendWr};
 
 /// Identifies one of the implemented RDMA protocols (paper Figure 3 plus
 /// the Hybrid-EagerRNDV engine default).
@@ -107,11 +105,22 @@ pub struct ProtocolConfig {
     /// Eager-vs-rendezvous switch point for [`ProtocolKind::HybridEagerRndv`].
     /// The paper fixes this at 4 KB.
     pub eager_threshold: usize,
+    /// Deadline for any single blocking wait (response poll, rendezvous
+    /// control message, READ completion). A wait that exceeds it returns
+    /// [`RdmaError::Timeout`] instead of spinning forever; the engine
+    /// derives it from the caller's `CallPolicy` deadline.
+    pub op_timeout_ns: u64,
 }
 
 impl Default for ProtocolConfig {
     fn default() -> Self {
-        ProtocolConfig { poll: PollMode::Busy, max_msg: 256 * 1024, ring_slots: 16, eager_threshold: 4096 }
+        ProtocolConfig {
+            poll: PollMode::Busy,
+            max_msg: 256 * 1024,
+            ring_slots: 16,
+            eager_threshold: 4096,
+            op_timeout_ns: POLL_TIMEOUT_NS,
+        }
     }
 }
 
@@ -130,6 +139,12 @@ impl ProtocolConfig {
     /// Builder-style max message size override.
     pub fn with_max_msg(mut self, max_msg: usize) -> Self {
         self.max_msg = max_msg;
+        self
+    }
+
+    /// Builder-style per-operation deadline override.
+    pub fn with_op_timeout_ns(mut self, op_timeout_ns: u64) -> Self {
+        self.op_timeout_ns = op_timeout_ns;
         self
     }
 }
@@ -183,9 +198,7 @@ pub fn connect_client(
         ProtocolKind::Pilaf => Box::new(crate::read_based::Pilaf::client(ep, cfg)?),
         ProtocolKind::Farm => Box::new(crate::read_based::Farm::client(ep, cfg)?),
         ProtocolKind::Rfp => Box::new(crate::read_based::Rfp::client(ep, cfg)?),
-        ProtocolKind::HybridEagerRndv => {
-            Box::new(crate::hybrid::HybridEagerRndv::client(ep, cfg)?)
-        }
+        ProtocolKind::HybridEagerRndv => Box::new(crate::hybrid::HybridEagerRndv::client(ep, cfg)?),
         ProtocolKind::Herd => Box::new(crate::herd::Herd::client(ep, cfg)?),
     })
 }
@@ -212,9 +225,7 @@ pub fn accept_server(
         ProtocolKind::Pilaf => Box::new(crate::read_based::Pilaf::server(ep, cfg)?),
         ProtocolKind::Farm => Box::new(crate::read_based::Farm::server(ep, cfg)?),
         ProtocolKind::Rfp => Box::new(crate::read_based::Rfp::server(ep, cfg)?),
-        ProtocolKind::HybridEagerRndv => {
-            Box::new(crate::hybrid::HybridEagerRndv::server(ep, cfg)?)
-        }
+        ProtocolKind::HybridEagerRndv => Box::new(crate::hybrid::HybridEagerRndv::server(ep, cfg)?),
         ProtocolKind::Herd => Box::new(crate::herd::Herd::server(ep, cfg)?),
     })
 }
@@ -228,21 +239,33 @@ pub(crate) fn charge_memcpy(ep: &Endpoint, len: usize) {
     hat_rdma_sim::stats::NodeStats::add(&node.stats().memcpys, 1);
 }
 
-/// Internal polling timeout: generous enough for heavily loaded sweeps,
-/// short enough for tests to fail fast on deadlock bugs.
+/// Default polling timeout: generous enough for heavily loaded sweeps,
+/// short enough for tests to fail fast on deadlock bugs. Per-connection
+/// deadlines override it via [`ProtocolConfig::op_timeout_ns`].
 pub(crate) const POLL_TIMEOUT_NS: u64 = 30_000_000_000;
 
-/// Poll the receive CQ once with disconnect detection. A connection with
-/// no traffic for [`POLL_TIMEOUT_NS`] is treated as dead rather than
-/// spun on forever — in the simulator every in-flight message completes
-/// within microseconds, so a long-silent CQ means the peer is gone or a
-/// bug would otherwise hang the harness.
-pub(crate) fn poll_recv(ep: &Endpoint, poll: PollMode) -> Result<Option<hat_rdma_sim::Completion>> {
-    let give_up = hat_rdma_sim::now_ns() + POLL_TIMEOUT_NS;
+/// Poll the receive CQ with disconnect and dead-node detection, bounded
+/// by `timeout_ns`. Returns `Ok(None)` on a clean peer disconnect,
+/// [`RdmaError::QpError`] if either node was killed (fault injection),
+/// and [`RdmaError::Timeout`] once the deadline passes — in the simulator
+/// every in-flight message completes within microseconds, so a
+/// long-silent CQ means the peer is gone or a bug would otherwise hang
+/// the harness.
+pub(crate) fn poll_recv(
+    ep: &Endpoint,
+    poll: PollMode,
+    timeout_ns: u64,
+) -> Result<Option<hat_rdma_sim::Completion>> {
+    let give_up = hat_rdma_sim::now_ns() + timeout_ns;
+    // Wake at least every 100ms to notice disconnects and dead nodes.
+    let slice = timeout_ns.clamp(1, 100_000_000);
     loop {
-        match ep.recv_cq().poll_timeout(poll, 100_000_000) {
+        match ep.recv_cq().poll_timeout(poll, slice) {
             Ok(c) => return Ok(Some(c)),
             Err(RdmaError::Timeout) => {
+                if let Some(dead) = ep.fault_down() {
+                    return Err(RdmaError::QpError(format!("node '{dead}' is down")));
+                }
                 if !ep.is_alive() {
                     return Ok(None);
                 }
@@ -263,16 +286,22 @@ pub(crate) struct CtrlRing {
     mr: MemoryRegion,
     slot_size: usize,
     slots: usize,
+    timeout_ns: u64,
 }
 
 impl CtrlRing {
-    pub(crate) fn new(ep: &Endpoint, slots: usize, slot_size: usize) -> Result<CtrlRing> {
+    pub(crate) fn new(
+        ep: &Endpoint,
+        slots: usize,
+        slot_size: usize,
+        timeout_ns: u64,
+    ) -> Result<CtrlRing> {
         assert!(slot_size <= ep.qp_config().max_inline, "control slots must fit inline sends");
         let mr = ep.pd().register(slots * slot_size)?;
         for i in 0..slots {
             ep.post_recv(RecvWr::new(i as u64, mr.clone(), i * slot_size, slot_size))?;
         }
-        Ok(CtrlRing { ep: ep.clone(), mr, slot_size, slots })
+        Ok(CtrlRing { ep: ep.clone(), mr, slot_size, slots, timeout_ns })
     }
 
     /// Send a control message (inline).
@@ -283,7 +312,7 @@ impl CtrlRing {
 
     /// Receive one control message; returns `None` on disconnect.
     pub(crate) fn recv(&self, poll: PollMode) -> Result<Option<Vec<u8>>> {
-        let Some(comp) = poll_recv(&self.ep, poll)? else { return Ok(None) };
+        let Some(comp) = poll_recv(&self.ep, poll, self.timeout_ns)? else { return Ok(None) };
         comp.ok()?;
         let slot = comp.wr_id as usize % self.slots;
         let data = self.mr.read_vec(slot * self.slot_size, comp.byte_len)?;
@@ -305,14 +334,20 @@ impl CtrlRing {
 /// the peer's. Uses busy polling — handshakes are rare and short. Also
 /// used by the HatRPC engine for its connection preamble.
 pub fn exchange_blobs(ep: &Endpoint, blob: &[u8]) -> Result<Vec<u8>> {
+    exchange_blobs_deadline(ep, blob, POLL_TIMEOUT_NS)
+}
+
+/// [`exchange_blobs`] with an explicit deadline, for callers (like the
+/// engine's connection preamble) whose own call policy bounds how long a
+/// connection attempt may take.
+pub fn exchange_blobs_deadline(ep: &Endpoint, blob: &[u8], timeout_ns: u64) -> Result<Vec<u8>> {
     const HSK_SLOT: usize = 208;
     assert!(blob.len() <= HSK_SLOT, "handshake blob too large");
     let mr = ep.pd().register(HSK_SLOT)?;
     ep.post_recv(RecvWr::new(u64::MAX, mr.clone(), 0, HSK_SLOT))?;
     ep.post_send(&[SendWr::send_inline(u64::MAX - 1, blob.to_vec())])?;
-    let comp = ep
-        .recv_cq()
-        .poll_timeout(PollMode::Busy, POLL_TIMEOUT_NS)?
+    let comp = poll_recv(ep, PollMode::Busy, timeout_ns)?
+        .ok_or(hat_rdma_sim::RdmaError::Disconnected)?
         .ok()?;
     let peer = mr.read_vec(0, comp.byte_len)?;
     mr.deregister();
@@ -396,12 +431,13 @@ pub(crate) mod tests_support {
         let n = sizes.len();
         let h = std::thread::spawn(move || {
             for _ in 0..n {
-                assert!(server.serve_one(&mut |req| {
-                    let mut resp = req.to_vec();
-                    resp.reverse();
-                    resp
-                })
-                .unwrap());
+                assert!(server
+                    .serve_one(&mut |req| {
+                        let mut resp = req.to_vec();
+                        resp.reverse();
+                        resp
+                    })
+                    .unwrap());
             }
             server
         });
@@ -456,8 +492,8 @@ mod tests {
         let a = f.add_node("a");
         let b = f.add_node("b");
         let (ea, eb) = f.connect(&a, &b).unwrap();
-        let ra = CtrlRing::new(&ea, 2, 64).unwrap();
-        let rb = CtrlRing::new(&eb, 2, 64).unwrap();
+        let ra = CtrlRing::new(&ea, 2, 64, POLL_TIMEOUT_NS).unwrap();
+        let rb = CtrlRing::new(&eb, 2, 64, POLL_TIMEOUT_NS).unwrap();
         // Send more messages than slots to prove recycling works.
         for i in 0..6u8 {
             ra.send(i as u64, &[i; 8]).unwrap();
@@ -475,7 +511,7 @@ mod tests {
         let a = f.add_node("a");
         let b = f.add_node("b");
         let (ea, eb) = f.connect(&a, &b).unwrap();
-        let ring = CtrlRing::new(&eb, 2, 64).unwrap();
+        let ring = CtrlRing::new(&eb, 2, 64, POLL_TIMEOUT_NS).unwrap();
         ea.close();
         assert!(ring.recv(PollMode::Busy).unwrap().is_none());
     }

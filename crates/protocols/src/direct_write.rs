@@ -75,7 +75,7 @@ impl DirectWrite {
                 imm_dummy = Some(dummy);
                 None
             }
-            _ => Some(CtrlRing::new(&ep, cfg.ring_slots, 16)?),
+            _ => Some(CtrlRing::new(&ep, cfg.ring_slots, 16, cfg.op_timeout_ns)?),
         };
         Ok(DirectWrite { ep, cfg, in_region, out_stage, peer_region, ctrl, imm_dummy, notify })
     }
@@ -98,8 +98,10 @@ impl DirectWrite {
             Notify::SeparateSend => {
                 // Two posts → two doorbells.
                 self.ep.post_send(&[write])?;
-                self.ep
-                    .post_send(&[SendWr::send_inline(2, (data.len() as u32).to_le_bytes().to_vec())])?;
+                self.ep.post_send(&[SendWr::send_inline(
+                    2,
+                    (data.len() as u32).to_le_bytes().to_vec(),
+                )])?;
             }
             Notify::ChainedSend => {
                 // One chained post → one doorbell.
@@ -124,7 +126,9 @@ impl DirectWrite {
     fn recv_msg(&self) -> Result<Option<Vec<u8>>> {
         let len = match self.notify {
             Notify::WriteImm => {
-                let Some(comp) = poll_recv(&self.ep, self.cfg.poll)? else { return Ok(None) };
+                let Some(comp) = poll_recv(&self.ep, self.cfg.poll, self.cfg.op_timeout_ns)? else {
+                    return Ok(None);
+                };
                 comp.ok()?;
                 // Recycle the zero-length receive slot.
                 let dummy = self.imm_dummy.as_ref().expect("IMM variant has a dummy region");
@@ -260,8 +264,10 @@ mod tests {
 
     #[test]
     fn imm_uses_single_work_request_per_message() {
-        let (mut client, mut server) =
-            echo_pair(ProtocolKind::DirectWriteImm, ProtocolConfig { max_msg: 1024, ..Default::default() });
+        let (mut client, mut server) = echo_pair(
+            ProtocolKind::DirectWriteImm,
+            ProtocolConfig { max_msg: 1024, ..Default::default() },
+        );
         let h = std::thread::spawn(move || {
             server.serve_one(&mut |r| r.to_vec()).unwrap();
             server

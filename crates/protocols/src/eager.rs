@@ -67,7 +67,9 @@ impl EagerSendRecv {
 
     /// Receive one message from the ring; `None` on disconnect.
     fn recv_msg(&self) -> Result<Option<Vec<u8>>> {
-        let Some(comp) = poll_recv(&self.ep, self.cfg.poll)? else { return Ok(None) };
+        let Some(comp) = poll_recv(&self.ep, self.cfg.poll, self.cfg.op_timeout_ns)? else {
+            return Ok(None);
+        };
         comp.ok()?;
         let slot = comp.wr_id as usize % self.cfg.ring_slots;
         let base = slot * self.slot_size;

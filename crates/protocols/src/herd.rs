@@ -110,7 +110,7 @@ impl RpcClient for Herd {
             SendWr::send_inline(2, Vec::new()),
         ])?;
         // Response arrives on the eager ring.
-        let Some(comp) = poll_recv(&self.ep, self.cfg.poll)? else {
+        let Some(comp) = poll_recv(&self.ep, self.cfg.poll, self.cfg.op_timeout_ns)? else {
             return Err(hat_rdma_sim::RdmaError::Disconnected);
         };
         comp.ok()?;
@@ -134,7 +134,9 @@ impl RpcServer for Herd {
     fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool> {
         assert!(!self.is_client, "serve_one() is server-side");
         // Wait for the notify SEND, then read the written request.
-        let Some(comp) = poll_recv(&self.ep, self.cfg.poll)? else { return Ok(false) };
+        let Some(comp) = poll_recv(&self.ep, self.cfg.poll, self.cfg.op_timeout_ns)? else {
+            return Ok(false);
+        };
         comp.ok()?;
         let dummy = self.ep.pd().register(1)?;
         self.ep.post_recv(RecvWr::new(comp.wr_id, dummy, 0, 0))?;

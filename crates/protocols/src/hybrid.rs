@@ -103,7 +103,9 @@ impl HybridEagerRndv {
 
     /// Receive one raw ring frame: (tag, len, body).
     fn recv_frame(&self) -> Result<Option<(u8, usize, Vec<u8>)>> {
-        let Some(comp) = poll_recv(&self.ep, self.cfg.poll)? else { return Ok(None) };
+        let Some(comp) = poll_recv(&self.ep, self.cfg.poll, self.cfg.op_timeout_ns)? else {
+            return Ok(None);
+        };
         comp.ok()?;
         let slot = comp.wr_id as usize % self.cfg.ring_slots;
         let base = slot * self.slot_size;
@@ -126,22 +128,19 @@ impl HybridEagerRndv {
             }
             TAG_RTS => {
                 let src = RemoteBuf::decode(&body)?;
-                self.ep
-                    .post_send(&[SendWr::read(1, self.landing.slice(0, len), src.sub(0, len as u64))
-                        .signaled()])?;
-                self.ep
-                    .send_cq()
-                    .poll_timeout(self.cfg.poll, crate::common::POLL_TIMEOUT_NS)?
-                    .ok()?;
+                self.ep.post_send(&[SendWr::read(
+                    1,
+                    self.landing.slice(0, len),
+                    src.sub(0, len as u64),
+                )
+                .signaled()])?;
+                self.ep.send_cq().poll_timeout(self.cfg.poll, self.cfg.op_timeout_ns)?.ok()?;
                 // Release the peer's staging buffer.
-                self.ep.post_send(&[SendWr::send_inline(
-                    2,
-                    {
-                        let mut fin = vec![TAG_FIN];
-                        fin.extend_from_slice(&(len as u64).to_le_bytes());
-                        fin
-                    },
-                )])?;
+                self.ep.post_send(&[SendWr::send_inline(2, {
+                    let mut fin = vec![TAG_FIN];
+                    fin.extend_from_slice(&(len as u64).to_le_bytes());
+                    fin
+                })])?;
                 Ok(Some(self.landing.read_vec(0, len)?))
             }
             other => Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(

@@ -30,8 +30,8 @@ pub mod read_based;
 pub mod rndv;
 
 pub use common::{
-    accept_server, connect_client, exchange_blobs, ProtocolConfig, ProtocolKind, RpcClient,
-    RpcServer,
+    accept_server, connect_client, exchange_blobs, exchange_blobs_deadline, ProtocolConfig,
+    ProtocolKind, RpcClient, RpcServer,
 };
 pub use direct_write::{ChainedWriteSend, DirectWriteImm, DirectWriteSend};
 pub use eager::EagerSendRecv;

@@ -28,14 +28,12 @@ use crate::common::{charge_memcpy, poll_recv, ProtocolConfig, ProtocolKind, RpcC
 /// same).
 const EVENT_POLL_PAUSE: std::time::Duration = std::time::Duration::from_micros(3);
 
-/// Give-up deadline for response polling.
-const RESP_TIMEOUT_NS: u64 = 30_000_000_000;
-
 /// Request channel: an eager SEND ring (client → server), used by Pilaf
 /// and FaRM whose *requests* travel as ordinary messages.
 struct RequestChannel {
     ep: Endpoint,
     poll: PollMode,
+    timeout_ns: u64,
     ring: MemoryRegion,
     staging: MemoryRegion,
     slots: usize,
@@ -57,6 +55,7 @@ impl RequestChannel {
         Ok(RequestChannel {
             ep: ep.clone(),
             poll: cfg.poll,
+            timeout_ns: cfg.op_timeout_ns,
             ring,
             staging,
             slots: cfg.ring_slots,
@@ -72,7 +71,7 @@ impl RequestChannel {
     }
 
     fn recv(&self) -> Result<Option<Vec<u8>>> {
-        let Some(comp) = poll_recv(&self.ep, self.poll)? else { return Ok(None) };
+        let Some(comp) = poll_recv(&self.ep, self.poll, self.timeout_ns)? else { return Ok(None) };
         comp.ok()?;
         let slot = comp.wr_id as usize % self.slots;
         let base = slot * self.slot_size;
@@ -143,9 +142,10 @@ fn read_sync(
     offset: usize,
     src: RemoteBuf,
     poll: PollMode,
+    timeout_ns: u64,
 ) -> Result<()> {
     ep.post_send(&[SendWr::read(7, landing.slice(offset, src.len as usize), src).signaled()])?;
-    ep.send_cq().poll_timeout(poll, RESP_TIMEOUT_NS)?.ok()?;
+    ep.send_cq().poll_timeout(poll, timeout_ns)?.ok()?;
     Ok(())
 }
 
@@ -194,7 +194,16 @@ impl ReadPolled {
         let remote = RemoteBoard::decode(&peer)?;
         let req = RequestChannel::new(&ep, &cfg, false)?;
         let landing = ep.pd().register(cfg.max_msg.max(64))?;
-        Ok(ReadPolled { ep, cfg, req, board: None, remote: Some(remote), landing, seq: 0, meta_reads })
+        Ok(ReadPolled {
+            ep,
+            cfg,
+            req,
+            board: None,
+            remote: Some(remote),
+            landing,
+            seq: 0,
+            meta_reads,
+        })
     }
 
     fn server(ep: Endpoint, cfg: ProtocolConfig, meta_reads: MetaReads) -> Result<ReadPolled> {
@@ -203,7 +212,16 @@ impl ReadPolled {
         crate::common::exchange_blobs(&ep, &blob)?;
         let req = RequestChannel::new(&ep, &cfg, true)?;
         let landing = ep.pd().register(64)?;
-        Ok(ReadPolled { ep, cfg, req, board: Some(board), remote: None, landing, seq: 0, meta_reads })
+        Ok(ReadPolled {
+            ep,
+            cfg,
+            req,
+            board: Some(board),
+            remote: None,
+            landing,
+            seq: 0,
+            meta_reads,
+        })
     }
 
     fn call(&mut self, request: &[u8]) -> Result<Vec<u8>> {
@@ -211,7 +229,8 @@ impl ReadPolled {
         let want = self.seq;
         self.req.send(request)?;
         let remote = self.remote.expect("client has a remote board");
-        let deadline = hat_rdma_sim::now_ns() + RESP_TIMEOUT_NS;
+        let timeout = self.cfg.op_timeout_ns;
+        let deadline = hat_rdma_sim::now_ns() + timeout;
 
         // Metadata phase. Pilaf polls the small directory word and then
         // issues a second READ for the item header (~2 metadata READs);
@@ -221,7 +240,14 @@ impl ReadPolled {
             MetaReads::Two => {
                 // READ #1 (polled): directory word only.
                 loop {
-                    read_sync(&self.ep, &self.landing, 0, remote.meta.sub(0, 8), self.cfg.poll)?;
+                    read_sync(
+                        &self.ep,
+                        &self.landing,
+                        0,
+                        remote.meta.sub(0, 8),
+                        self.cfg.poll,
+                        timeout,
+                    )?;
                     let seq =
                         u64::from_le_bytes(self.landing.read_vec(0, 8)?.try_into().expect("8B"));
                     if seq == want {
@@ -233,7 +259,14 @@ impl ReadPolled {
                     poll_pause(self.cfg.poll);
                 }
                 // READ #2: the item header.
-                read_sync(&self.ep, &self.landing, 0, remote.meta.sub(16, 16), self.cfg.poll)?;
+                read_sync(
+                    &self.ep,
+                    &self.landing,
+                    0,
+                    remote.meta.sub(16, 16),
+                    self.cfg.poll,
+                    timeout,
+                )?;
                 let hdr = self.landing.read_vec(0, 16)?;
                 let seq = u64::from_le_bytes(hdr[..8].try_into().expect("8B"));
                 debug_assert_eq!(seq, want, "item header lags directory");
@@ -242,7 +275,14 @@ impl ReadPolled {
             MetaReads::One => {
                 // One polled READ of the combined 32-byte entry.
                 loop {
-                    read_sync(&self.ep, &self.landing, 0, remote.meta.sub(0, 32), self.cfg.poll)?;
+                    read_sync(
+                        &self.ep,
+                        &self.landing,
+                        0,
+                        remote.meta.sub(0, 32),
+                        self.cfg.poll,
+                        timeout,
+                    )?;
                     let entry = self.landing.read_vec(0, 32)?;
                     let seq = u64::from_le_bytes(entry[..8].try_into().expect("8B"));
                     if seq == want {
@@ -257,7 +297,14 @@ impl ReadPolled {
         };
 
         // Final READ: the payload.
-        read_sync(&self.ep, &self.landing, 0, remote.payload.sub(0, len as u64), self.cfg.poll)?;
+        read_sync(
+            &self.ep,
+            &self.landing,
+            0,
+            remote.payload.sub(0, len as u64),
+            self.cfg.poll,
+            timeout,
+        )?;
         self.landing.read_vec(0, len)
     }
 
@@ -422,15 +469,26 @@ impl RpcClient for Rfp {
         msg.extend_from_slice(request);
         self.req_region.write(0, &msg)?;
         let dst = self.remote_req.expect("client knows the request region");
-        self.ep
-            .post_send(&[SendWr::write(1, self.req_region.slice(0, msg.len()), dst.sub(0, msg.len() as u64))])?;
+        self.ep.post_send(&[SendWr::write(
+            1,
+            self.req_region.slice(0, msg.len()),
+            dst.sub(0, msg.len() as u64),
+        )])?;
 
         // READ-poll the response: header + first chunk in one READ.
         let remote_resp = self.remote_resp.expect("client knows the response region");
         let first = RFP_HDR + self.first_read_payload;
-        let deadline = hat_rdma_sim::now_ns() + RESP_TIMEOUT_NS;
+        let timeout = self.cfg.op_timeout_ns;
+        let deadline = hat_rdma_sim::now_ns() + timeout;
         let len = loop {
-            read_sync(&self.ep, &self.resp_region, 0, remote_resp.sub(0, first as u64), self.cfg.poll)?;
+            read_sync(
+                &self.ep,
+                &self.resp_region,
+                0,
+                remote_resp.sub(0, first as u64),
+                self.cfg.poll,
+                timeout,
+            )?;
             let hdr = self.resp_region.read_vec(0, RFP_HDR)?;
             let seq = u64::from_le_bytes(hdr[..8].try_into().expect("8B"));
             if seq == want {
@@ -451,6 +509,7 @@ impl RpcClient for Rfp {
                 RFP_HDR + self.first_read_payload,
                 remote_resp.sub((RFP_HDR + self.first_read_payload) as u64, rest as u64),
                 self.cfg.poll,
+                timeout,
             )?;
         }
         self.resp_region.read_vec(RFP_HDR, len)
@@ -470,8 +529,11 @@ impl RpcServer for Rfp {
             // Busy memory polling burns a core, just like CQ busy polling.
             let _spin = (self.cfg.poll == PollMode::Busy).then(|| node.enter_spin());
             let t0 = hat_rdma_sim::now_ns();
-            let deadline = t0 + RESP_TIMEOUT_NS;
+            let deadline = t0 + self.cfg.op_timeout_ns;
             loop {
+                if let Some(dead) = self.ep.fault_down() {
+                    return Err(hat_rdma_sim::RdmaError::QpError(format!("node '{dead}' is down")));
+                }
                 if !self.ep.is_alive() {
                     return Ok(false);
                 }

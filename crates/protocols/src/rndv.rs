@@ -74,7 +74,7 @@ const CTRL_SLOT: usize = 1 + 8 + RemoteBuf::WIRE_SIZE;
 
 impl Rndv {
     fn new(ep: Endpoint, cfg: ProtocolConfig) -> Result<Rndv> {
-        let ctrl = CtrlRing::new(&ep, cfg.ring_slots, CTRL_SLOT)?;
+        let ctrl = CtrlRing::new(&ep, cfg.ring_slots, CTRL_SLOT, cfg.op_timeout_ns)?;
         let pool = ep.pd().register(cfg.max_msg)?;
         Ok(Rndv { ep, cfg, ctrl, pool })
     }
@@ -215,7 +215,7 @@ impl ReadRndv {
         let r = &self.inner;
         let Some((len, Some(src))) = r.expect_ctrl(tag::RTS)? else { return Ok(None) };
         r.ep.post_send(&[SendWr::read(1, self.landing.slice(0, len), src).signaled()])?;
-        r.ep.send_cq().poll_timeout(r.cfg.poll, crate::common::POLL_TIMEOUT_NS)?.ok()?;
+        r.ep.send_cq().poll_timeout(r.cfg.poll, r.cfg.op_timeout_ns)?.ok()?;
         r.ctrl.send(0, &ctrl_msg(tag::FIN, len, None))?;
         Ok(Some(self.landing.read_vec(0, len)?))
     }

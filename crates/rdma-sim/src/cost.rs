@@ -171,6 +171,8 @@ pub struct SimConfig {
     pub numa_nodes: u32,
     /// Which NUMA node the NIC is attached to.
     pub nic_numa_node: u32,
+    /// Fault-injection plan. Empty by default: no faults, no overhead.
+    pub fault: crate::fault::FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -182,6 +184,7 @@ impl Default for SimConfig {
             cores_per_node: 28,
             numa_nodes: 2,
             nic_numa_node: 0,
+            fault: crate::fault::FaultPlan::default(),
         }
     }
 }
@@ -201,6 +204,12 @@ impl SimConfig {
     /// where wall-clock time matters more than calibration.
     pub fn fast_test() -> Self {
         SimConfig { time_scale: 0.1, ..Self::default() }
+    }
+
+    /// Attach a fault-injection plan (builder style).
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault = plan;
+        self
     }
 }
 

@@ -108,7 +108,28 @@ pub(crate) struct CqInner {
 
 impl CqInner {
     /// Push a completion that becomes observable at `ready_at`.
+    ///
+    /// This is the single funnel every completion flows through (send
+    /// completions, receive deliveries, one-sided ops), so fault injection
+    /// hooks here: a configured [`crate::fault::FaultPlan`] may drop the
+    /// completion outright or push its readiness time out.
     pub(crate) fn push(&self, ready_at: u64, completion: Completion) {
+        let mut ready_at = ready_at;
+        if let Some(node) = self.node.upgrade() {
+            if let Some(f) = node.faults() {
+                match f.on_completion(completion.qp_id) {
+                    crate::fault::CompletionFault::Deliver => {}
+                    crate::fault::CompletionFault::Delay(extra) => {
+                        NodeStats::add(&node.stats().faults_delayed, 1);
+                        ready_at = ready_at.saturating_add(node.config().scaled(extra));
+                    }
+                    crate::fault::CompletionFault::Drop => {
+                        NodeStats::add(&node.stats().faults_dropped, 1);
+                        return;
+                    }
+                }
+            }
+        }
         let mut guard = self.heap.lock();
         let seq = guard.1;
         guard.1 += 1;
@@ -206,25 +227,30 @@ impl CompletionQueue {
                 const IDLE_NAP: std::time::Duration = std::time::Duration::from_micros(30);
                 loop {
                     node.drain_effects();
-                    {
-                        let now = now_ns();
-                        let mut guard = self.inner.heap.lock();
-                        if guard.0.peek().is_some_and(|e| e.ready_at <= now) {
-                            let e = guard.0.pop().expect("peeked entry present");
-                            drop(guard);
-                            NodeStats::add(&node.stats().completions, 1);
-                            NodeStats::add(&node.stats().cpu_busy_ns, now_ns() - start);
-                            return Ok(e.completion);
-                        }
-                    }
                     let now = now_ns();
+                    let mut guard = self.inner.heap.lock();
+                    if guard.0.peek().is_some_and(|e| e.ready_at <= now) {
+                        let e = guard.0.pop().expect("peeked entry present");
+                        drop(guard);
+                        NodeStats::add(&node.stats().completions, 1);
+                        NodeStats::add(&node.stats().cpu_busy_ns, now_ns() - start);
+                        return Ok(e.completion);
+                    }
                     if now >= give_up {
+                        drop(guard);
                         NodeStats::add(&node.stats().cpu_busy_ns, now - start);
                         return Err(RdmaError::Timeout);
                     }
                     if now - start > IDLE_BACKOFF_AFTER_NS {
-                        std::thread::sleep(IDLE_NAP);
+                        // Nap on the condvar while still holding the heap
+                        // lock up to the wait: a push from another thread
+                        // cannot slip in between the dry check and the
+                        // park (it would either be seen by the peek or
+                        // notify the wait), so no wakeup is ever lost.
+                        self.inner.cond.wait_for(&mut guard, IDLE_NAP);
+                        drop(guard);
                     } else {
+                        drop(guard);
                         // Yield so the peer can run even on core-starved
                         // hosts (see `time::spin_until`); the spinner
                         // registration above still models the burned
@@ -252,24 +278,28 @@ impl CompletionQueue {
                 loop {
                     node.drain_effects();
                     let now = now_ns();
-                    {
-                        let mut guard = self.inner.heap.lock();
-                        if guard.0.peek().is_some_and(|e| e.ready_at + wake <= now) {
-                            let e = guard.0.pop().expect("peeked entry present");
-                            drop(guard);
-                            NodeStats::add(&node.stats().completions, 1);
-                            node.charge_cpu(node.config().cost.poll_cqe_ns);
-                            return Ok(e.completion);
-                        }
+                    let mut guard = self.inner.heap.lock();
+                    if guard.0.peek().is_some_and(|e| e.ready_at + wake <= now) {
+                        let e = guard.0.pop().expect("peeked entry present");
+                        drop(guard);
+                        NodeStats::add(&node.stats().completions, 1);
+                        node.charge_cpu(node.config().cost.poll_cqe_ns);
+                        return Ok(e.completion);
                     }
                     if now >= give_up {
                         return Err(RdmaError::Timeout);
                     }
                     // Long-idle waiters nap to free the host core (the
-                    // simulated thread is parked either way).
+                    // simulated thread is parked either way). The nap is a
+                    // timed condvar wait taken while still holding the
+                    // heap lock, so a push racing with the dry check
+                    // either lands before the peek or notifies the wait —
+                    // the wakeup cannot be lost.
                     if now - start > 300_000 {
-                        std::thread::sleep(std::time::Duration::from_micros(30));
+                        self.inner.cond.wait_for(&mut guard, std::time::Duration::from_micros(30));
+                        drop(guard);
                     } else {
+                        drop(guard);
                         std::thread::yield_now();
                     }
                 }
@@ -409,5 +439,67 @@ mod tests {
         let c = Completion { status: CompletionStatus::FlushError, ..comp(1) };
         assert_eq!(c.ok().unwrap_err(), RdmaError::Disconnected);
         assert!(comp(1).ok().is_ok());
+    }
+
+    /// Regression for the lost-wakeup audit: a second thread pushing
+    /// completions in a tight loop must never leave an Event-mode poller
+    /// stuck in its nap past the entry's readiness — every push is either
+    /// seen by the pre-park peek or wakes the timed condvar wait.
+    #[test]
+    fn event_poll_never_misses_tight_posts_from_second_thread() {
+        let (_f, _n, cq) = cq();
+        const N: u64 = 200;
+        let cq2 = cq.clone();
+        let poster = std::thread::spawn(move || {
+            for i in 0..N {
+                cq2.inner.push(now_ns(), comp(i));
+                if i % 16 == 0 {
+                    // Occasionally let the poller go idle long enough to
+                    // reach its parked-nap branch.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        });
+        for _ in 0..N {
+            cq.poll_timeout(PollMode::Event, 2_000_000_000)
+                .expect("a pushed completion must never be lost");
+        }
+        poster.join().unwrap();
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn fault_plan_drops_completions_at_the_cq() {
+        let f = Fabric::new(
+            SimConfig::fast_test().with_fault_plan(
+                crate::fault::FaultPlan::new(1)
+                    .drop_completions(crate::fault::FaultScope::AllNodes, 1.0),
+            ),
+        );
+        let n = f.add_node("n");
+        let cq = CompletionQueue::new(&n);
+        cq.inner.push(0, comp(1));
+        assert!(cq.try_poll().is_none(), "dropped completion must never surface");
+        assert_eq!(n.stats_snapshot().faults_dropped, 1);
+        assert_eq!(cq.poll_timeout(PollMode::Busy, 50_000).unwrap_err(), RdmaError::Timeout);
+    }
+
+    #[test]
+    fn fault_plan_delays_completions_at_the_cq() {
+        let f = Fabric::new(SimConfig::fast_test().with_fault_plan(
+            crate::fault::FaultPlan::new(1).delay_completions(
+                crate::fault::FaultScope::AllNodes,
+                crate::fault::DelayDistribution::Fixed { ns: 5_000_000 },
+            ),
+        ));
+        let n = f.add_node("n");
+        let cq = CompletionQueue::new(&n);
+        let t = now_ns();
+        cq.inner.push(t, comp(1));
+        assert!(cq.try_poll().is_none(), "completion must not be ready before the delay");
+        cq.poll_one(PollMode::Busy).unwrap();
+        // fast_test scales durations by 0.1: 5 ms modeled -> 500 us real.
+        assert!(now_ns() - t >= 400_000, "delay must actually be applied");
+        assert_eq!(n.stats_snapshot().faults_delayed, 1);
     }
 }

@@ -37,6 +37,9 @@ pub enum RdmaError {
     InlineTooLarge { len: usize, max: usize },
     /// The operation timed out (event polling with a deadline).
     Timeout,
+    /// The queue pair is in the error state (fault-injected flush, a dead
+    /// node, or a peer whose node died mid-flight).
+    QpError(String),
 }
 
 impl fmt::Display for RdmaError {
@@ -57,6 +60,7 @@ impl fmt::Display for RdmaError {
                 write!(f, "inline data of {len} bytes exceeds max_inline {max}")
             }
             RdmaError::Timeout => write!(f, "operation timed out"),
+            RdmaError::QpError(msg) => write!(f, "queue pair in error state: {msg}"),
         }
     }
 }
@@ -77,6 +81,7 @@ mod tests {
         assert!(RdmaError::InvalidRKey(0xdead).to_string().contains("dead"));
         assert!(RdmaError::Timeout.to_string().contains("timed out"));
         assert!(RdmaError::NoSuchService("x".into()).to_string().contains("'x'"));
+        assert!(RdmaError::QpError("flushed".into()).to_string().contains("flushed"));
     }
 
     #[test]

@@ -103,6 +103,15 @@ impl Fabric {
         self.inner.by_name.read().get(name).cloned()
     }
 
+    /// Kill a node mid-flight: pending memory effects are discarded and
+    /// every verb touching the node (its own posts, sends to it, READs
+    /// from it) fails with [`RdmaError::QpError`] from now on.
+    pub fn kill_node(&self, name: &str) -> Result<()> {
+        let node = self.node(name).ok_or_else(|| RdmaError::NoSuchService(name.to_string()))?;
+        node.kill();
+        Ok(())
+    }
+
     /// Connect two nodes with default options. Returns `(a_side, b_side)`.
     pub fn connect(&self, a: &Arc<Node>, b: &Arc<Node>) -> Result<(Endpoint, Endpoint)> {
         self.connect_with(a, b, &EndpointOptions::default(), &EndpointOptions::default())
@@ -145,10 +154,10 @@ impl Fabric {
     /// `opts` (e.g. a shared CQ for all connections).
     pub fn listen(&self, node: &Arc<Node>, service: &str, opts: EndpointOptions) -> Listener {
         let (tx, rx) = unbounded();
-        self.inner.services.lock().insert(
-            service.to_string(),
-            ServiceEntry { node: node.clone(), opts, tx },
-        );
+        self.inner
+            .services
+            .lock()
+            .insert(service.to_string(), ServiceEntry { node: node.clone(), opts, tx });
         Listener { rx, service: service.to_string(), fabric: self.clone() }
     }
 
@@ -400,6 +409,30 @@ mod tests {
         ss.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"over tcp");
         assert!(f.dial_ipoib(&client, "missing").is_err());
+    }
+
+    #[test]
+    fn killed_node_rejects_posts_and_peer_sees_qp_error() {
+        let f = Fabric::new(SimConfig::fast_test());
+        let a = f.add_node("a");
+        let b = f.add_node("b");
+        let (ea, eb) = f.connect(&a, &b).unwrap();
+        assert!(ea.is_alive() && eb.is_alive());
+
+        f.kill_node("b").unwrap();
+        assert!(f.kill_node("nope").is_err());
+
+        // The dead node's own posts fail typed.
+        let bmr = eb.pd().register(32).unwrap();
+        assert!(matches!(eb.post_recv(RecvWr::new(1, bmr, 0, 32)), Err(RdmaError::QpError(_))));
+        // The survivor sees the peer as down, not merely disconnected.
+        assert!(!ea.is_alive());
+        assert_eq!(ea.fault_down(), Some("b"));
+        assert!(matches!(
+            ea.post_send(&[SendWr::send_inline(2, b"hi".to_vec())]),
+            Err(RdmaError::QpError(_))
+        ));
+        assert_eq!(b.stats_snapshot().qp_errors, 1);
     }
 
     #[test]

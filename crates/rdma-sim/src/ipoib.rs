@@ -89,10 +89,8 @@ impl IpoibStream {
         let ser = cfg.scaled(ip.serialize_ns(data.len()));
         let t0 = now_ns();
         let (es, _) = self.node.egress().reserve_at(t0, ser);
-        let (_, ie) = self
-            .peer_node
-            .ingress()
-            .reserve_at(es + cfg.scaled(ip.one_way_latency_ns), ser);
+        let (_, ie) =
+            self.peer_node.ingress().reserve_at(es + cfg.scaled(ip.one_way_latency_ns), ser);
         let ready_at = ie + cfg.scaled(ip.interrupt_ns);
 
         NodeStats::add(&self.node.stats().bytes_tx, data.len() as u64);

@@ -82,6 +82,7 @@ pub mod cost;
 pub mod cq;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod ipoib;
 pub mod memory;
 pub mod node;
@@ -95,6 +96,7 @@ pub use cost::{CostModel, SimConfig};
 pub use cq::{Completion, CompletionQueue, CompletionStatus, PollMode};
 pub use error::{RdmaError, Result};
 pub use fabric::Fabric;
+pub use fault::{DelayDistribution, FaultAction, FaultPlan, FaultRule, FaultScope};
 pub use memory::{MemoryRegion, MrSlice, ProtectionDomain, RemoteBuf};
 pub use node::Node;
 pub use numa::{CoreBinding, NumaTopology};

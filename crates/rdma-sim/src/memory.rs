@@ -219,7 +219,11 @@ impl MrSlice {
     pub fn validate(&self) -> Result<()> {
         let cap = self.mr.len();
         if self.offset.checked_add(self.len).is_none_or(|end| end > cap) {
-            return Err(RdmaError::OutOfBounds { offset: self.offset, len: self.len, capacity: cap });
+            return Err(RdmaError::OutOfBounds {
+                offset: self.offset,
+                len: self.len,
+                capacity: cap,
+            });
         }
         Ok(())
     }

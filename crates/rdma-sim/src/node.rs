@@ -11,13 +11,14 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
 use crate::cost::SimConfig;
 use crate::cq::{Completion, CompletionStatus, CqInner};
+use crate::fault::NodeFaults;
 use crate::memory::MrInner;
 use crate::numa::{numa_penalty, NumaTopology};
 use crate::qp::EndpointInner;
@@ -156,6 +157,12 @@ pub struct Node {
     /// Threads currently burning simulated CPU on this node.
     spinners: AtomicU32,
     seq: AtomicU64,
+    /// False once the node has been killed (fault injection or
+    /// [`crate::Fabric::kill_node`]). Dead nodes reject verbs and stop
+    /// delivering pending effects.
+    alive: AtomicBool,
+    /// Fault-injection runtime state; `None` when the plan is empty.
+    faults: Option<NodeFaults>,
 }
 
 impl std::fmt::Debug for Node {
@@ -168,6 +175,7 @@ impl Node {
     pub(crate) fn new(id: u64, name: String, config: Arc<SimConfig>) -> Arc<Node> {
         let topology =
             NumaTopology::new(config.cores_per_node, config.numa_nodes, config.nic_numa_node);
+        let faults = NodeFaults::from_plan(&config.fault, &name);
         Arc::new(Node {
             id,
             name,
@@ -181,6 +189,8 @@ impl Node {
             stats: NodeStats::default(),
             spinners: AtomicU32::new(0),
             seq: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+            faults,
         })
     }
 
@@ -222,6 +232,27 @@ impl Node {
     /// Snapshot of this node's statistics.
     pub fn stats_snapshot(&self) -> NodeStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// True until the node is killed.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Kill the node mid-flight: every subsequent verb on its endpoints
+    /// fails with [`crate::RdmaError::QpError`], pending effects stop
+    /// being delivered, and peers waiting on it observe a QP error or a
+    /// timeout instead of hanging.
+    pub fn kill(&self) {
+        if self.alive.swap(false, Ordering::AcqRel) {
+            NodeStats::add(&self.stats.qp_errors, 1);
+            self.pending.lock().clear();
+        }
+    }
+
+    /// Fault-injection runtime state, if any.
+    pub(crate) fn faults(&self) -> Option<&NodeFaults> {
+        self.faults.as_ref()
     }
 
     // ---- CPU model -------------------------------------------------------
@@ -277,8 +308,12 @@ impl Node {
 
     // ---- pending effects --------------------------------------------------
 
-    /// Enqueue an effect to apply at `deadline`.
+    /// Enqueue an effect to apply at `deadline`. Dead nodes silently drop
+    /// effects: nothing arrives at (or from) a killed machine.
     pub(crate) fn push_effect(&self, deadline: u64, kind: EffectKind) {
+        if !self.is_alive() {
+            return;
+        }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.pending.lock().push(Reverse(PendingEffect { deadline, seq, kind }));
     }
@@ -344,10 +379,7 @@ impl Node {
                 // ordering: a stalled SEND is never overtaken by a later
                 // one on the same queue pair.
                 let ready = effect.deadline.max(now_ns());
-                ep.deliver_or_backlog(
-                    crate::qp::ArrivedMsg { data, imm, byte_len, opcode },
-                    ready,
-                );
+                ep.deliver_or_backlog(crate::qp::ArrivedMsg { data, imm, byte_len, opcode }, ready);
             }
             EffectKind::AtomicOp {
                 target_node,
@@ -400,14 +432,7 @@ impl Node {
                     if let Some(cq) = cq.upgrade() {
                         cq.push(
                             effect.deadline.max(now_ns()),
-                            Completion {
-                                wr_id,
-                                opcode,
-                                byte_len: 8,
-                                imm: None,
-                                status,
-                                qp_id,
-                            },
+                            Completion { wr_id, opcode, byte_len: 8, imm: None, status, qp_id },
                         );
                     }
                 }
@@ -535,19 +560,11 @@ mod tests {
         // Later effect overwrites the earlier one; push out of order.
         n.push_effect(
             t + 2,
-            EffectKind::MemWrite {
-                mr: Arc::downgrade(&mr.inner),
-                offset: 0,
-                data: vec![2],
-            },
+            EffectKind::MemWrite { mr: Arc::downgrade(&mr.inner), offset: 0, data: vec![2] },
         );
         n.push_effect(
             t + 1,
-            EffectKind::MemWrite {
-                mr: Arc::downgrade(&mr.inner),
-                offset: 0,
-                data: vec![1],
-            },
+            EffectKind::MemWrite { mr: Arc::downgrade(&mr.inner), offset: 0, data: vec![1] },
         );
         crate::time::spin_until(t + 3);
         n.drain_effects();
@@ -563,11 +580,7 @@ mod tests {
         let mr = pd.register(1).unwrap();
         n.push_effect(
             now_ns() + 50_000_000, // 50 ms out
-            EffectKind::MemWrite {
-                mr: Arc::downgrade(&mr.inner),
-                offset: 0,
-                data: vec![9],
-            },
+            EffectKind::MemWrite { mr: Arc::downgrade(&mr.inner), offset: 0, data: vec![9] },
         );
         n.drain_effects();
         let mut b = [0u8; 1];

@@ -59,6 +59,9 @@ pub(crate) struct EndpointInner {
     registry: Arc<NodeRegistry>,
     config: QpConfig,
     alive: AtomicBool,
+    /// True once the QP has been flushed into the error state by fault
+    /// injection; every later verb fails with [`RdmaError::QpError`].
+    error: AtomicBool,
 }
 
 /// A delivered-but-unreceived message (see `rnr_backlog`).
@@ -212,6 +215,7 @@ impl Endpoint {
                 registry,
                 config: opts.qp.clone(),
                 alive: AtomicBool::new(true),
+                error: AtomicBool::new(false),
             }),
             pd,
         }
@@ -271,13 +275,36 @@ impl Endpoint {
         }
     }
 
-    /// Whether the connection is still up.
+    /// Whether the connection is still up (both endpoints open and both
+    /// nodes alive).
     pub fn is_alive(&self) -> bool {
         self.inner.alive.load(Ordering::Acquire)
+            && self.inner.node.is_alive()
+            && self.inner.peer_node.is_alive()
+    }
+
+    /// If this endpoint's own node or its peer's node has been killed
+    /// (fault injection / [`crate::Fabric::kill_node`]), the dead node's
+    /// name — lets waiters surface a typed [`RdmaError::QpError`] instead
+    /// of a generic disconnect.
+    pub fn fault_down(&self) -> Option<&str> {
+        if !self.inner.node.is_alive() {
+            Some(self.inner.node.name())
+        } else if !self.inner.peer_node.is_alive() {
+            Some(self.inner.peer_node.name())
+        } else {
+            None
+        }
     }
 
     /// Post a receive work request.
     pub fn post_recv(&self, wr: RecvWr) -> Result<()> {
+        if let Some(dead) = self.fault_down() {
+            return Err(RdmaError::QpError(format!("node '{dead}' is down")));
+        }
+        if self.inner.error.load(Ordering::Acquire) {
+            return Err(RdmaError::QpError("queue pair flushed to error state".into()));
+        }
         wr.mr.slice(wr.offset, wr.len).validate()?;
         let node = &self.inner.node;
         {
@@ -304,6 +331,12 @@ impl Endpoint {
         if chain.is_empty() {
             return Err(RdmaError::InvalidWorkRequest("empty chain".into()));
         }
+        if let Some(dead) = self.fault_down() {
+            return Err(RdmaError::QpError(format!("node '{dead}' is down")));
+        }
+        if self.inner.error.load(Ordering::Acquire) {
+            return Err(RdmaError::QpError("queue pair flushed to error state".into()));
+        }
         if !self.is_alive() {
             return Err(RdmaError::Disconnected);
         }
@@ -327,6 +360,30 @@ impl Endpoint {
                 memcpys += 1;
             }
             resolved.push(r);
+        }
+
+        // ---- fault injection: count WRs, maybe flush or kill ------------
+        if let Some(faults) = node.faults() {
+            for _ in chain {
+                match faults.on_wr_posted(self.inner.id) {
+                    crate::fault::WrFault::None => {}
+                    crate::fault::WrFault::FlushQp => {
+                        self.inner.error.store(true, Ordering::Release);
+                        NodeStats::add(&node.stats().qp_errors, 1);
+                        return Err(RdmaError::QpError(format!(
+                            "qp {} flushed to error by fault plan",
+                            self.inner.id
+                        )));
+                    }
+                    crate::fault::WrFault::KillNode => {
+                        node.kill();
+                        return Err(RdmaError::QpError(format!(
+                            "node '{}' killed by fault plan",
+                            node.name()
+                        )));
+                    }
+                }
+            }
         }
 
         // ---- charge CPU: post + one doorbell for the chain --------------
@@ -387,12 +444,7 @@ impl Endpoint {
                     ));
                 }
                 let target = self.resolve_remote(remote, 8)?;
-                Ok(ResolvedWr {
-                    inline_len: None,
-                    wire_bytes: 8,
-                    remote: None,
-                    read: Some(target),
-                })
+                Ok(ResolvedWr { inline_len: None, wire_bytes: 8, remote: None, read: Some(target) })
             }
         }
     }
@@ -403,6 +455,12 @@ impl Endpoint {
             .registry
             .node_by_id(remote.node_id)
             .ok_or(RdmaError::InvalidRKey(remote.rkey))?;
+        if !target_node.is_alive() {
+            return Err(RdmaError::QpError(format!(
+                "target node '{}' is down",
+                target_node.name()
+            )));
+        }
         let mr = target_node.lookup_mr(remote.rkey).ok_or(RdmaError::InvalidRKey(remote.rkey))?;
         let region = MemoryRegion { inner: mr };
         region.slice(remote.offset as usize, len).validate()?;
@@ -427,9 +485,10 @@ impl Endpoint {
             };
             let t0 = now_ns();
             // Tiny request descriptor out...
-            let (_, ee) = node
-                .egress()
-                .reserve_at(t0 + cfg.scaled(cost.nic_process_ns), cfg.scaled(cost.serialize_ns(READ_REQUEST_BYTES)));
+            let (_, ee) = node.egress().reserve_at(
+                t0 + cfg.scaled(cost.nic_process_ns),
+                cfg.scaled(cost.serialize_ns(READ_REQUEST_BYTES)),
+            );
             let req_arrive =
                 ee + cfg.scaled(cost.wire_latency_ns) + cfg.scaled(cost.inbound_rdma_turnaround_ns);
             // ...payload streamed back on the target's egress link.
@@ -498,16 +557,13 @@ impl Endpoint {
 
         let t0 = now_ns();
         let ser = cfg.scaled(cost.serialize_ns(bytes));
-        let (es, ee) =
-            node.egress().reserve_at(t0 + cfg.scaled(cost.nic_process_ns), ser);
+        let (es, ee) = node.egress().reserve_at(t0 + cfg.scaled(cost.nic_process_ns), ser);
 
         let (dest_node, deadline) = match &wr.op {
             SendOp::Send { .. } => {
                 let peer = self.peer()?;
-                let (_, ie) = peer
-                    .node
-                    .ingress()
-                    .reserve_at(es + cfg.scaled(cost.wire_latency_ns), ser);
+                let (_, ie) =
+                    peer.node.ingress().reserve_at(es + cfg.scaled(cost.wire_latency_ns), ser);
                 let deadline = ie + cfg.scaled(cost.nic_process_ns);
                 peer.node.push_effect(
                     deadline,
@@ -523,10 +579,8 @@ impl Endpoint {
             }
             SendOp::Write { .. } | SendOp::WriteImm { .. } => {
                 let target = r.remote.expect("resolved remote present");
-                let (_, ie) = target
-                    .node
-                    .ingress()
-                    .reserve_at(es + cfg.scaled(cost.wire_latency_ns), ser);
+                let (_, ie) =
+                    target.node.ingress().reserve_at(es + cfg.scaled(cost.wire_latency_ns), ser);
                 let deadline = ie + cfg.scaled(cost.nic_process_ns);
                 NodeStats::add(&node.stats().outbound_rdma, 1);
                 NodeStats::add(&target.node.stats().inbound_rdma, 1);
@@ -586,6 +640,9 @@ impl Endpoint {
     /// The connected peer endpoint and its node.
     fn peer(&self) -> Result<PeerRef> {
         let inner = self.inner.peer.lock().upgrade().ok_or(RdmaError::Disconnected)?;
+        if !inner.node.is_alive() {
+            return Err(RdmaError::QpError(format!("peer node '{}' is down", inner.node.name())));
+        }
         if !inner.alive.load(Ordering::Acquire) {
             return Err(RdmaError::Disconnected);
         }
@@ -727,7 +784,7 @@ mod tests {
         c.post_send(&[SendWr::send(2, cmr.slice(13, 11))]).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(2));
         let _ = s.recv_cq().try_poll(); // drain arrivals into the backlog
-        // Post receives; backlog must drain strictly in order.
+                                        // Post receives; backlog must drain strictly in order.
         let ring = s.pd().register(64).unwrap();
         s.post_recv(RecvWr::new(10, ring.clone(), 0, 32)).unwrap();
         s.post_recv(RecvWr::new(11, ring.clone(), 32, 32)).unwrap();
@@ -802,7 +859,10 @@ mod tests {
         let mr = ea.pd().register(64).unwrap();
         ea.post_recv(RecvWr::new(1, mr.clone(), 0, 8)).unwrap();
         ea.post_recv(RecvWr::new(2, mr.clone(), 8, 8)).unwrap();
-        assert_eq!(ea.post_recv(RecvWr::new(3, mr, 16, 8)).unwrap_err(), RdmaError::QueueFull("receive"));
+        assert_eq!(
+            ea.post_recv(RecvWr::new(3, mr, 16, 8)).unwrap_err(),
+            RdmaError::QueueFull("receive")
+        );
     }
 
     #[test]
@@ -812,6 +872,68 @@ mod tests {
         let err = c.post_send(&[SendWr::send_inline(1, b"x".to_vec())]).unwrap_err();
         assert_eq!(err, RdmaError::Disconnected);
         assert!(!c.is_alive());
+    }
+
+    #[test]
+    fn fault_plan_flushes_qp_after_n_wrs() {
+        let plan = crate::fault::FaultPlan::new(7)
+            .flush_qp_after(crate::fault::FaultScope::Node("a".into()), 2);
+        let f = Fabric::new(SimConfig::fast_test().with_fault_plan(plan));
+        let a = f.add_node("a");
+        let b = f.add_node("b");
+        let (ea, eb) = f.connect(&a, &b).unwrap();
+        let smr = eb.pd().register(256).unwrap();
+        for i in 0..4 {
+            eb.post_recv(RecvWr::new(i, smr.clone(), (i as usize) * 32, 32)).unwrap();
+        }
+
+        // First two WRs go through, the third flushes the QP to error.
+        ea.post_send(&[SendWr::send_inline(1, b"one".to_vec())]).unwrap();
+        ea.post_send(&[SendWr::send_inline(2, b"two".to_vec())]).unwrap();
+        let err = ea.post_send(&[SendWr::send_inline(3, b"three".to_vec())]).unwrap_err();
+        assert!(matches!(err, RdmaError::QpError(_)), "got {err:?}");
+        // The error state is sticky.
+        assert!(matches!(
+            ea.post_send(&[SendWr::send_inline(4, b"four".to_vec())]),
+            Err(RdmaError::QpError(_))
+        ));
+        assert_eq!(a.stats_snapshot().qp_errors, 1);
+        // The node itself is still alive; only this QP is flushed.
+        assert!(a.is_alive());
+    }
+
+    #[test]
+    fn fault_plan_kills_node_after_n_wrs() {
+        let plan = crate::fault::FaultPlan::new(9)
+            .kill_node_after(crate::fault::FaultScope::Node("a".into()), 1);
+        let f = Fabric::new(SimConfig::fast_test().with_fault_plan(plan));
+        let a = f.add_node("a");
+        let b = f.add_node("b");
+        let (ea, eb) = f.connect(&a, &b).unwrap();
+        let smr = eb.pd().register(64).unwrap();
+        eb.post_recv(RecvWr::new(0, smr, 0, 64)).unwrap();
+
+        ea.post_send(&[SendWr::send_inline(1, b"ok".to_vec())]).unwrap();
+        let err = ea.post_send(&[SendWr::send_inline(2, b"boom".to_vec())]).unwrap_err();
+        assert!(matches!(err, RdmaError::QpError(_)), "got {err:?}");
+        assert!(!a.is_alive());
+        // The surviving side sees the peer node as down.
+        assert_eq!(eb.fault_down(), Some("a"));
+        assert!(matches!(
+            eb.post_send(&[SendWr::send_inline(3, b"x".to_vec())]),
+            Err(RdmaError::QpError(_))
+        ));
+    }
+
+    #[test]
+    fn read_from_dead_target_fails_typed() {
+        let (f, c, s) = pair();
+        let smr = s.pd().register(128).unwrap();
+        let rb = smr.remote_buf(0, 128);
+        let cmr = c.pd().register(128).unwrap();
+        f.kill_node("b").unwrap();
+        let err = c.post_send(&[SendWr::read(1, cmr.slice(0, 128), rb).signaled()]).unwrap_err();
+        assert!(matches!(err, RdmaError::QpError(_)), "got {err:?}");
     }
 
     #[test]
@@ -832,9 +954,6 @@ mod tests {
         c.post_send(&[SendWr::write(2, large.slice(0, 512 * 1024), rb).signaled()]).unwrap();
         c.send_cq().poll_one(PollMode::Busy).unwrap();
         let t_large = now_ns() - t1;
-        assert!(
-            t_large > t_small * 4,
-            "512KB ({t_large}ns) should dwarf 64B ({t_small}ns)"
-        );
+        assert!(t_large > t_small * 4, "512KB ({t_large}ns) should dwarf 64B ({t_small}ns)");
     }
 }

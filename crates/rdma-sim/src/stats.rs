@@ -40,6 +40,21 @@ pub struct NodeStats {
     pub registered_bytes_peak: AtomicU64,
     /// Connections established.
     pub connections: AtomicU64,
+    /// Completions dropped by fault injection.
+    pub faults_dropped: AtomicU64,
+    /// Completions delayed by fault injection.
+    pub faults_delayed: AtomicU64,
+    /// QPs flushed into the error state (fault injection or node death).
+    pub qp_errors: AtomicU64,
+    /// Engine-level calls that completed successfully.
+    pub calls_ok: AtomicU64,
+    /// Engine-level call attempts that were retried after a transport
+    /// failure.
+    pub calls_retried: AtomicU64,
+    /// Engine-level calls that ultimately failed with a timeout.
+    pub calls_timed_out: AtomicU64,
+    /// Engine-level calls that ultimately failed for any other reason.
+    pub calls_failed: AtomicU64,
 }
 
 impl NodeStats {
@@ -83,6 +98,13 @@ impl NodeStats {
             registered_bytes: Self::get(&self.registered_bytes),
             registered_bytes_peak: Self::get(&self.registered_bytes_peak),
             connections: Self::get(&self.connections),
+            faults_dropped: Self::get(&self.faults_dropped),
+            faults_delayed: Self::get(&self.faults_delayed),
+            qp_errors: Self::get(&self.qp_errors),
+            calls_ok: Self::get(&self.calls_ok),
+            calls_retried: Self::get(&self.calls_retried),
+            calls_timed_out: Self::get(&self.calls_timed_out),
+            calls_failed: Self::get(&self.calls_failed),
         }
     }
 }
@@ -104,6 +126,13 @@ pub struct NodeStatsSnapshot {
     pub registered_bytes: u64,
     pub registered_bytes_peak: u64,
     pub connections: u64,
+    pub faults_dropped: u64,
+    pub faults_delayed: u64,
+    pub qp_errors: u64,
+    pub calls_ok: u64,
+    pub calls_retried: u64,
+    pub calls_timed_out: u64,
+    pub calls_failed: u64,
 }
 
 /// Fabric-wide aggregate statistics.

@@ -126,7 +126,11 @@ impl SendWr {
 
     /// One-sided WRITE from a registered slice.
     pub fn write(wr_id: u64, slice: MrSlice, remote: RemoteBuf) -> SendWr {
-        SendWr { wr_id, op: SendOp::Write { payload: SendPayload::Mr(slice), remote }, signaled: false }
+        SendWr {
+            wr_id,
+            op: SendOp::Write { payload: SendPayload::Mr(slice), remote },
+            signaled: false,
+        }
     }
 
     /// One-sided WRITE of inline data.

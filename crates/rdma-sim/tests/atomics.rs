@@ -2,7 +2,7 @@
 //! FETCH_AND_ADD): the building blocks of RDMA sequencers and lock
 //! services.
 
-use hat_rdma_sim::{Fabric, Opcode, PollMode, SimConfig, SendWr};
+use hat_rdma_sim::{Fabric, Opcode, PollMode, SendWr, SimConfig};
 
 fn pair() -> (Fabric, hat_rdma_sim::Endpoint, hat_rdma_sim::Endpoint) {
     let f = Fabric::new(SimConfig::fast_test());
@@ -39,9 +39,7 @@ fn comp_swap_succeeds_only_on_match() {
     let landing = client.pd().register(8).unwrap();
 
     // Mismatched compare: no swap, old value returned.
-    client
-        .post_send(&[SendWr::comp_swap(1, landing.slice(0, 8), rb, 999, 1).signaled()])
-        .unwrap();
+    client.post_send(&[SendWr::comp_swap(1, landing.slice(0, 8), rb, 999, 1).signaled()]).unwrap();
     client.send_cq().poll_one(PollMode::Busy).unwrap();
     let old = u64::from_le_bytes(landing.read_vec(0, 8).unwrap().try_into().unwrap());
     assert_eq!(old, 100);
@@ -57,10 +55,7 @@ fn comp_swap_succeeds_only_on_match() {
         .unwrap();
     let c = client.send_cq().poll_one(PollMode::Busy).unwrap();
     assert_eq!(c.opcode, Opcode::CompSwap);
-    assert_eq!(
-        u64::from_le_bytes(word.read_vec(0, 8).unwrap().try_into().unwrap()),
-        777
-    );
+    assert_eq!(u64::from_le_bytes(word.read_vec(0, 8).unwrap().try_into().unwrap()), 777);
 }
 
 /// The sequencer pattern: concurrent clients fetch-and-add one shared
@@ -87,14 +82,11 @@ fn concurrent_fetch_add_is_a_correct_sequencer() {
             let landing = ep.pd().register(8).unwrap();
             let mut tickets = Vec::with_capacity(TICKETS);
             for t in 0..TICKETS {
-                ep.post_send(&[
-                    SendWr::fetch_add(t as u64, landing.slice(0, 8), rb, 1).signaled()
-                ])
-                .unwrap();
+                ep.post_send(&[SendWr::fetch_add(t as u64, landing.slice(0, 8), rb, 1).signaled()])
+                    .unwrap();
                 ep.send_cq().poll_one(PollMode::Busy).unwrap();
-                tickets.push(u64::from_le_bytes(
-                    landing.read_vec(0, 8).unwrap().try_into().unwrap(),
-                ));
+                tickets
+                    .push(u64::from_le_bytes(landing.read_vec(0, 8).unwrap().try_into().unwrap()));
             }
             (ep, tickets)
         }));
@@ -164,12 +156,12 @@ fn cas_lock_provides_mutual_exclusion() {
                     guarded_rb,
                 )
                 .signaled()])
-                .unwrap();
+                    .unwrap();
                 ep.send_cq().poll_one(PollMode::Busy).unwrap();
                 // Release: CAS 1 -> 0.
-                ep.post_send(&[
-                    SendWr::comp_swap(4, landing.slice(0, 8), lock_rb, 1, 0).signaled()
-                ])
+                ep.post_send(
+                    &[SendWr::comp_swap(4, landing.slice(0, 8), lock_rb, 1, 0).signaled()],
+                )
                 .unwrap();
                 ep.send_cq().poll_one(PollMode::Busy).unwrap();
             }
@@ -186,9 +178,7 @@ fn atomic_against_bad_target_errors() {
     let (_f, client, _server) = pair();
     let landing = client.pd().register(8).unwrap();
     let bogus = hat_rdma_sim::RemoteBuf { node_id: 9999, rkey: 1, offset: 0, len: 8 };
-    assert!(client
-        .post_send(&[SendWr::fetch_add(1, landing.slice(0, 8), bogus, 1)])
-        .is_err());
+    assert!(client.post_send(&[SendWr::fetch_add(1, landing.slice(0, 8), bogus, 1)]).is_err());
     // Landing buffer too small.
     let tiny = client.pd().register(4).unwrap();
     let (_f2, c2, s2) = pair();

@@ -13,7 +13,9 @@ use hatrpc_core::protocol::{TInputProtocol, TOutputProtocol, TType};
 use hatrpc_core::service::ServiceSchema;
 use hatrpc_core::transport::{ClientTransport, ServerTransport, TServerSocket, TSocket};
 
-use crate::queries::{all_queries, decode_groups, encode_groups, ExchangeClass, QueryDef, QueryResult};
+use crate::queries::{
+    all_queries, decode_groups, encode_groups, ExchangeClass, QueryDef, QueryResult,
+};
 use crate::schema::{Dataset, Partition};
 
 /// Which RPC stack the exchanges use.
@@ -159,7 +161,9 @@ fn worker_router(partition: Arc<Partition>) -> Router {
 
     let mk = |partition: Arc<Partition>, queries: Arc<Vec<QueryDef>>| {
         move |i: &mut hatrpc_core::protocol::binary::BinaryIn<'_>,
-              o: &mut hatrpc_core::protocol::binary::BinaryOut| exec(i, o, &partition, &queries)
+              o: &mut hatrpc_core::protocol::binary::BinaryOut| {
+            exec(i, o, &partition, &queries)
+        }
     };
     Router::new()
         .add("frag", mk(partition.clone(), queries.clone()))
@@ -442,8 +446,7 @@ mod tests {
     #[test]
     fn function_mode_routes_by_exchange_class() {
         let fabric = Fabric::new(SimConfig::fast_test());
-        let mut cluster =
-            TpchCluster::start(&fabric, &small_cfg(), TransportMode::HatRpcFunction);
+        let mut cluster = TpchCluster::start(&fabric, &small_cfg(), TransportMode::HatRpcFunction);
         let qs = all_queries();
         let q1 = qs.iter().find(|q| q.id == 1).unwrap();
         let q19 = qs.iter().find(|q| q.id == 19).unwrap();

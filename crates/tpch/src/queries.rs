@@ -231,9 +231,8 @@ pub fn all_queries() -> Vec<QueryDef> {
                     if bc.contains_key(&(ps.partkey as u64))
                         && bc.contains_key(&((1 << 40) | ps.suppkey as u64))
                     {
-                        let e = g
-                            .entry(ps.partkey as u64)
-                            .or_insert([f64::INFINITY, 0.0, 0.0, 0.0]);
+                        let e =
+                            g.entry(ps.partkey as u64).or_insert([f64::INFINITY, 0.0, 0.0, 0.0]);
                         e[0] = e[0].min(ps.supplycost);
                         e[3] += 1.0;
                     }
@@ -439,11 +438,9 @@ pub fn all_queries() -> Vec<QueryDef> {
                     .collect();
                 let mut g = Groups::new();
                 for l in &p.lineitem {
-                    if bc.contains_key(&(l.partkey as u64)) && region_orders.contains(&l.orderkey)
-                    {
-                        let nation = bc
-                            .get(&((2 << 40) | l.suppkey as u64))
-                            .map_or(0.0, |s| s[0]) as u64;
+                    if bc.contains_key(&(l.partkey as u64)) && region_orders.contains(&l.orderkey) {
+                        let nation =
+                            bc.get(&((2 << 40) | l.suppkey as u64)).map_or(0.0, |s| s[0]) as u64;
                         // slot0: revenue from the target nation (nation 9);
                         // slot1: total revenue — market share = s0/s1.
                         let r = rev(l);
@@ -666,10 +663,7 @@ pub fn all_queries() -> Vec<QueryDef> {
                     .iter()
                     .filter(|p| p.brand != 12 && [3, 9, 14, 19, 23, 36, 45, 49].contains(&p.size))
                     .map(|p| {
-                        (
-                            p.partkey as u64,
-                            [p.brand as f64, p.type_code as f64, p.size as f64, 0.0],
-                        )
+                        (p.partkey as u64, [p.brand as f64, p.type_code as f64, p.size as f64, 0.0])
                     })
                     .collect()
             },
@@ -677,9 +671,8 @@ pub fn all_queries() -> Vec<QueryDef> {
                 let mut g = Groups::new();
                 for ps in &p.partsupp {
                     if let Some(attrs) = bc.get(&(ps.partkey as u64)) {
-                        let key = ((attrs[0] as u64) << 16)
-                            | ((attrs[1] as u64) << 8)
-                            | attrs[2] as u64;
+                        let key =
+                            ((attrs[0] as u64) << 16) | ((attrs[1] as u64) << 8) | attrs[2] as u64;
                         accumulate(&mut g, key, [1.0, 0.0, 0.0, 0.0]);
                     }
                 }
@@ -710,11 +703,7 @@ pub fn all_queries() -> Vec<QueryDef> {
                         // slot1: Σ qty; slot2: line count — the reducer-side
                         // avg test is approximated by the qty<8 candidate cut.
                         let candidate = if l.quantity < 8.0 { l.extendedprice } else { 0.0 };
-                        accumulate(
-                            &mut g,
-                            l.partkey as u64,
-                            [candidate, l.quantity, 1.0, 0.0],
-                        );
+                        accumulate(&mut g, l.partkey as u64, [candidate, l.quantity, 1.0, 0.0]);
                     }
                 }
                 g
@@ -765,10 +754,7 @@ pub fn all_queries() -> Vec<QueryDef> {
                     .iter()
                     .filter(|p| [12, 23, 34].contains(&p.brand))
                     .map(|p| {
-                        (
-                            p.partkey as u64,
-                            [p.brand as f64, p.container as f64, p.size as f64, 0.0],
-                        )
+                        (p.partkey as u64, [p.brand as f64, p.container as f64, p.size as f64, 0.0])
                     })
                     .collect()
             },
@@ -778,9 +764,18 @@ pub fn all_queries() -> Vec<QueryDef> {
                     let Some(a) = bc.get(&(l.partkey as u64)) else { continue };
                     let (brand, container, size) = (a[0] as u8, a[1] as u8, a[2] as u8);
                     let q = l.quantity;
-                    let hit = (brand == 12 && container < 10 && (1..=11u8).contains(&size) && (1.0..=11.0).contains(&q))
-                        || (brand == 23 && (10..20).contains(&container) && size <= 10 && (10.0..=20.0).contains(&q))
-                        || (brand == 34 && container >= 20 && size <= 15 && (20.0..=30.0).contains(&q));
+                    let hit = (brand == 12
+                        && container < 10
+                        && (1..=11u8).contains(&size)
+                        && (1.0..=11.0).contains(&q))
+                        || (brand == 23
+                            && (10..20).contains(&container)
+                            && size <= 10
+                            && (10.0..=20.0).contains(&q))
+                        || (brand == 34
+                            && container >= 20
+                            && size <= 15
+                            && (20.0..=30.0).contains(&q));
                     if hit && l.shipinstruct == 0 && l.shipmode <= 1 {
                         accumulate(&mut g, 0, [rev(l), 0.0, 0.0, 1.0]);
                     }
@@ -816,18 +811,13 @@ pub fn all_queries() -> Vec<QueryDef> {
                 let hi = year_start(1995);
                 let mut g = Groups::new();
                 for l in &p.lineitem {
-                    if l.shipdate >= lo && l.shipdate < hi && bc.contains_key(&(l.partkey as u64))
-                    {
+                    if l.shipdate >= lo && l.shipdate < hi && bc.contains_key(&(l.partkey as u64)) {
                         accumulate(&mut g, l.suppkey as u64, [l.quantity, 0.0, 1.0, 0.0]);
                     }
                 }
                 for ps in &p.partsupp {
                     if bc.contains_key(&(ps.partkey as u64)) {
-                        accumulate(
-                            &mut g,
-                            ps.suppkey as u64,
-                            [0.0, ps.availqty as f64, 0.0, 1.0],
-                        );
+                        accumulate(&mut g, ps.suppkey as u64, [0.0, ps.availqty as f64, 0.0, 1.0]);
                     }
                 }
                 g
@@ -849,12 +839,8 @@ pub fn all_queries() -> Vec<QueryDef> {
                     .collect()
             },
             map: |p, bc| {
-                let failed: std::collections::HashSet<u64> = p
-                    .orders
-                    .iter()
-                    .filter(|o| o.orderstatus == b'F')
-                    .map(|o| o.orderkey)
-                    .collect();
+                let failed: std::collections::HashSet<u64> =
+                    p.orders.iter().filter(|o| o.orderstatus == b'F').map(|o| o.orderkey).collect();
                 // Orders with >1 distinct supplier (candidate multi-supplier).
                 let mut supps: std::collections::HashMap<u64, (u32, bool)> = Default::default();
                 for l in &p.lineitem {
@@ -910,7 +896,7 @@ pub fn all_queries() -> Vec<QueryDef> {
                     *order_counts.entry(o.custkey).or_insert(0.0) += 1.0;
                 }
                 let mut g = Groups::new();
-                for (k, _attrs) in bc {
+                for k in bc.keys() {
                     if let Some(&n) = order_counts.get(&(*k as u32)) {
                         accumulate(&mut g, *k, [n, 0.0, 0.0, 0.0]);
                     }
@@ -997,11 +983,8 @@ mod tests {
     #[test]
     fn exchange_classes_split_small_and_bulk() {
         let qs = all_queries();
-        let small: Vec<u8> = qs
-            .iter()
-            .filter(|q| q.class == ExchangeClass::Small)
-            .map(|q| q.id)
-            .collect();
+        let small: Vec<u8> =
+            qs.iter().filter(|q| q.class == ExchangeClass::Small).map(|q| q.id).collect();
         assert_eq!(small, vec![1, 4, 6, 12], "fact-local queries are the small class");
     }
 }

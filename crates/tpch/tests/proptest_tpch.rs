@@ -9,12 +9,8 @@ use hat_tpch::schema::{Dataset, Partition};
 use proptest::prelude::*;
 
 fn groups() -> impl Strategy<Value = Groups> {
-    prop::collection::btree_map(
-        any::<u64>(),
-        prop::array::uniform4(-1.0e12f64..1.0e12),
-        0..40,
-    )
-    .prop_map(|m: BTreeMap<u64, [f64; 4]>| m)
+    prop::collection::btree_map(any::<u64>(), prop::array::uniform4(-1.0e12f64..1.0e12), 0..40)
+        .prop_map(|m: BTreeMap<u64, [f64; 4]>| m)
 }
 
 /// A no-op query shell for exercising `reduce` in isolation.
@@ -116,7 +112,7 @@ proptest! {
     #[test]
     fn top_n_keeps_the_largest(g in groups(), n in 1usize..10) {
         let q = sum_query(n, Merge::Sum);
-        let r = q.reduce(&[g.clone()]);
+        let r = q.reduce(std::slice::from_ref(&g));
         prop_assert!(r.rows.len() <= n.max(g.len().min(n)));
         if g.len() > n {
             prop_assert_eq!(r.rows.len(), n);

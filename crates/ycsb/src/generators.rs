@@ -106,9 +106,7 @@ impl KeyChooser {
     pub fn next(&mut self, rng: &mut StdRng) -> u64 {
         match self.dist {
             RequestDistribution::Uniform => rng.random_range(0..self.items),
-            RequestDistribution::Zipfian => {
-                self.zipf.as_ref().expect("zipf built").sample(rng)
-            }
+            RequestDistribution::Zipfian => self.zipf.as_ref().expect("zipf built").sample(rng),
             RequestDistribution::Latest => {
                 // Rank 0 = newest record.
                 let rank = self.zipf.as_ref().expect("zipf built").sample(rng);

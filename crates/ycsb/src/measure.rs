@@ -48,11 +48,7 @@ impl Histogram {
 
     /// Mean latency in ns (0 when empty).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum_ns / self.count
-        }
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
 
     /// Approximate percentile (bucket upper bound), `p` in [0, 100].
@@ -135,9 +131,9 @@ impl RunMeasurement {
         if self.elapsed_ns == 0 {
             return 0.0;
         }
-        self.per_op.get(op.label()).map_or(0.0, |h| {
-            h.count() as f64 / (self.elapsed_ns as f64 / 1e9)
-        })
+        self.per_op
+            .get(op.label())
+            .map_or(0.0, |h| h.count() as f64 / (self.elapsed_ns as f64 / 1e9))
     }
 
     /// The histogram for one op type, if any samples were recorded.

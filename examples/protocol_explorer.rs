@@ -14,7 +14,14 @@ use hatrpc::rdma::{Fabric, SimConfig};
 fn main() {
     println!(
         "{:<18} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10} {:>10}",
-        "protocol", "cliWRs", "doorbell", "cli1side", "srv1side", "copies", "cliPin(B)", "srvPin(B)"
+        "protocol",
+        "cliWRs",
+        "doorbell",
+        "cli1side",
+        "srv1side",
+        "copies",
+        "cliPin(B)",
+        "srvPin(B)"
     );
     println!("{}", "-".repeat(88));
 

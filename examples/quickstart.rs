@@ -49,7 +49,11 @@ fn main() {
     let reply = client.call("ping", b"hello, hint-accelerated world").expect("rpc");
     let elapsed = hatrpc::rdma::now_ns() - t0;
     assert_eq!(reply, b"hello, hint-accelerated world");
-    println!("echoed {} bytes in {:.1} us (first call includes connection setup)", reply.len(), elapsed as f64 / 1000.0);
+    println!(
+        "echoed {} bytes in {:.1} us (first call includes connection setup)",
+        reply.len(),
+        elapsed as f64 / 1000.0
+    );
 
     // Warmed-up calls ride the cached per-function plan and channel.
     let t1 = hatrpc::rdma::now_ns();

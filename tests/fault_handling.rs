@@ -3,12 +3,13 @@
 //! survive.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use hatrpc::core::engine::{HatClient, HatServer, ServerPolicy};
+use hatrpc::core::engine::{CallPolicy, HatClient, HatServer, ServerPolicy};
 use hatrpc::core::service::ServiceSchema;
 use hatrpc::core::CoreError;
 use hatrpc::protocols::{ProtocolConfig, ProtocolKind};
-use hatrpc::rdma::{Fabric, RdmaError, SimConfig};
+use hatrpc::rdma::{Fabric, FaultPlan, FaultScope, RdmaError, SimConfig};
 
 const IDL: &str = r#"
     service Svc {
@@ -189,6 +190,207 @@ fn unknown_method_over_full_stack_returns_exception() {
     let reply = client.call("nonexistent", &req).unwrap();
     let err = hatrpc::core::dispatch::decode_reply(&reply, 7, |_| Ok(())).unwrap_err();
     assert!(matches!(err, CoreError::Application(m) if m.contains("nonexistent")));
+    server.shutdown();
+}
+
+fn echo_factory() -> hatrpc::core::engine::HandlerFactory {
+    Arc::new(|| Box::new(|req: &[u8]| req.to_vec()))
+}
+
+/// Acceptance: with a fault plan killing the server's node mid-flight,
+/// `HatClient::call` surfaces a typed QP/timeout error within the
+/// configured deadline — it never hangs on the dead peer.
+#[test]
+fn killed_server_node_fails_call_within_deadline() {
+    let schema = ServiceSchema::parse(IDL, "Svc").unwrap();
+    // The server's node dies after a few send work requests: the preamble
+    // handshake plus the first two echo replies go through, then the node
+    // is gone while the client awaits its third reply.
+    let plan = FaultPlan::new(1234).kill_node_after(FaultScope::Node("server".into()), 3);
+    let fabric = Fabric::new(SimConfig::fast_test().with_fault_plan(plan));
+    let snode = fabric.add_node("server");
+    let server = HatServer::serve(
+        &fabric,
+        &snode,
+        "svc",
+        schema.clone(),
+        ServerPolicy::Threaded,
+        echo_factory(),
+    );
+    let cnode = fabric.add_node("client");
+    let mut client = HatClient::new(&fabric, &cnode, "svc", &schema).with_policy(CallPolicy {
+        deadline: Duration::from_secs(2),
+        retries: 0,
+        backoff: Duration::ZERO,
+    });
+
+    // The handshake consumes some of the server's WR budget; the kill
+    // lands on one of the early replies. Every call up to that point
+    // succeeds, and the first affected call must fail with a typed
+    // transport error well before the 30-second default would elapse.
+    let t0 = Instant::now();
+    let mut oks = 0u64;
+    let mut saw_typed_error = false;
+    for i in 0..6u8 {
+        let req = [i; 8];
+        match client.call("echo", &req) {
+            Ok(resp) => {
+                assert_eq!(resp, req, "call {i}");
+                oks += 1;
+            }
+            Err(CoreError::Rdma(
+                RdmaError::Timeout | RdmaError::QpError(_) | RdmaError::Disconnected,
+            )) => {
+                saw_typed_error = true;
+                break;
+            }
+            Err(other) => panic!("expected a typed transport error, got {other:?}"),
+        }
+    }
+    assert!(saw_typed_error, "calls against a dead node kept succeeding");
+    assert!(oks >= 1, "the WR budget allows at least one call before the kill");
+    assert!(
+        t0.elapsed() < Duration::from_secs(15),
+        "failure took {:?}, not bounded by the 2s per-wait deadline",
+        t0.elapsed()
+    );
+    assert!(!snode.is_alive(), "fault plan killed the server node");
+
+    // Outcome counters: something failed or timed out, nothing was retried.
+    let stats = cnode.stats_snapshot();
+    assert_eq!(stats.calls_ok, oks);
+    assert_eq!(stats.calls_retried, 0);
+    assert!(stats.calls_timed_out + stats.calls_failed >= 1, "failure must be counted: {stats:?}");
+    drop(client);
+    server.shutdown();
+}
+
+/// Acceptance: with retries enabled, a client call issued after the
+/// server went away succeeds once a replacement server comes up — the
+/// engine reconnects, re-handshakes, and re-issues the request.
+#[test]
+fn retries_recover_against_a_restarted_server() {
+    let schema = ServiceSchema::parse(IDL, "Svc").unwrap();
+    let fabric = Fabric::new(SimConfig::fast_test());
+    let snode = fabric.add_node("server");
+    let server = HatServer::serve(
+        &fabric,
+        &snode,
+        "svc",
+        schema.clone(),
+        ServerPolicy::Threaded,
+        echo_factory(),
+    );
+    let cnode = fabric.add_node("client");
+    let mut client = HatClient::new(&fabric, &cnode, "svc", &schema).with_policy(CallPolicy {
+        deadline: Duration::from_secs(2),
+        retries: 6,
+        backoff: Duration::from_millis(10),
+    });
+    assert_eq!(client.call("echo", b"warm").unwrap(), b"warm");
+
+    // Kill the first server, then bring a replacement up after a delay —
+    // while it is down, dials fail with NoSuchService (retryable).
+    server.shutdown();
+    let schema2 = schema.clone();
+    let fabric2 = fabric.clone();
+    let spawner = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(50));
+        let snode2 = fabric2.add_node("server2");
+        HatServer::serve(&fabric2, &snode2, "svc", schema2, ServerPolicy::Threaded, echo_factory())
+    });
+
+    // The cached channel is dead and the service briefly unregistered; the
+    // retry loop must ride through both failure modes.
+    assert_eq!(client.call("echo", b"again").unwrap(), b"again");
+    let stats = cnode.stats_snapshot();
+    assert!(stats.calls_retried >= 1, "recovery must go through the retry path: {stats:?}");
+    assert_eq!(stats.calls_ok, 2);
+
+    drop(client);
+    spawner.join().unwrap().shutdown();
+}
+
+/// Seeded fault plans are replayable: two identical runs under the same
+/// plan drop the same completions and produce call-by-call identical
+/// outcomes; a different seed produces a different (but equally
+/// deterministic) schedule.
+#[test]
+fn dropped_completions_are_deterministic_through_the_protocol_stack() {
+    fn run(seed: u64) -> (Vec<bool>, u64) {
+        let plan = FaultPlan::new(seed).drop_completions(FaultScope::Node("client".into()), 0.4);
+        let fabric = Fabric::new(SimConfig::fast_test().with_fault_plan(plan));
+        let cnode = fabric.add_node("client");
+        let snode = fabric.add_node("server");
+        let (cep, sep) = fabric.connect(&cnode, &snode).unwrap();
+        // Short per-op deadline on the client so dropped replies fail
+        // fast. The server gets a long one: it must keep serving while the
+        // client sits out its timeouts (it exits on disconnect, not on
+        // idleness), otherwise server patience races client stalls and the
+        // outcome stops being a pure function of the drop schedule.
+        let cfg = ProtocolConfig { max_msg: 256, op_timeout_ns: 80_000_000, ..Default::default() };
+        let mut scfg = cfg.clone();
+        scfg.op_timeout_ns = 10_000_000_000;
+        let server_thread = std::thread::spawn(move || {
+            let mut server =
+                hatrpc::protocols::accept_server(ProtocolKind::EagerSendRecv, sep, scfg).unwrap();
+            while let Ok(true) = server.serve_one(&mut |r| r.to_vec()) {}
+        });
+        let mut client =
+            hatrpc::protocols::connect_client(ProtocolKind::EagerSendRecv, cep, cfg).unwrap();
+        let outcomes: Vec<bool> = (0..12u8).map(|i| client.call(&[i; 32]).is_ok()).collect();
+        drop(client);
+        server_thread.join().unwrap();
+        (outcomes, cnode.stats_snapshot().faults_dropped)
+    }
+
+    let (outcomes_a, dropped_a) = run(7);
+    let (outcomes_b, dropped_b) = run(7);
+    assert_eq!(outcomes_a, outcomes_b, "same seed must replay identically");
+    assert_eq!(dropped_a, dropped_b);
+    assert!(dropped_a >= 1, "a 40% drop rate over 12 replies must drop something");
+    assert!(outcomes_a.iter().any(|ok| *ok), "some calls must still succeed");
+
+    let (outcomes_c, _) = run(8);
+    assert_ne!(outcomes_a, outcomes_c, "a different seed must diverge");
+}
+
+/// A QP flushed into the error state by the fault plan poisons that
+/// connection only: the engine's retry path replaces it with a fresh QP
+/// and the call stream continues.
+#[test]
+fn qp_flush_mid_stream_is_survivable_with_retries() {
+    let schema = ServiceSchema::parse(IDL, "Svc").unwrap();
+    // Flush the client's QP after 8 send WRs. Every engine connection
+    // costs 2 client sends (handshake + preamble ack wait is one send;
+    // each call is one more), so the flush lands mid-call-stream.
+    let plan = FaultPlan::new(99).flush_qp_after(FaultScope::Node("client".into()), 8);
+    let fabric = Fabric::new(SimConfig::fast_test().with_fault_plan(plan));
+    let snode = fabric.add_node("server");
+    let server = HatServer::serve(
+        &fabric,
+        &snode,
+        "svc",
+        schema.clone(),
+        ServerPolicy::Threaded,
+        echo_factory(),
+    );
+    let cnode = fabric.add_node("client");
+    let mut client = HatClient::new(&fabric, &cnode, "svc", &schema).with_policy(CallPolicy {
+        deadline: Duration::from_secs(5),
+        retries: 2,
+        backoff: Duration::from_millis(1),
+    });
+
+    for i in 0..12u8 {
+        let req = [i; 16];
+        assert_eq!(client.call("echo", &req).unwrap(), req, "call {i}");
+    }
+    let stats = cnode.stats_snapshot();
+    assert_eq!(stats.calls_ok, 12, "every call eventually succeeds");
+    assert!(stats.calls_retried >= 1, "the flush must have forced a retry: {stats:?}");
+    assert!(stats.qp_errors >= 1, "the flush must be visible in qp_errors: {stats:?}");
+    drop(client);
     server.shutdown();
 }
 

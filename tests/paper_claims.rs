@@ -111,7 +111,11 @@ fn server_bypass_protocols_shift_rdma_to_the_client() {
     drop(h.join().unwrap());
     let cs = c.stats_snapshot();
     let ss = s.stats_snapshot();
-    assert!(cs.outbound_rdma >= 8, "client issues WRITEs + polling READs, saw {}", cs.outbound_rdma);
+    assert!(
+        cs.outbound_rdma >= 8,
+        "client issues WRITEs + polling READs, saw {}",
+        cs.outbound_rdma
+    );
     assert_eq!(ss.outbound_rdma, 0, "RFP server never issues one-sided ops");
     assert!(ss.inbound_rdma >= 8, "server serves them in-bound");
 }
@@ -218,8 +222,7 @@ fn tpch_answers_are_transport_invariant() {
     use hatrpc::tpch::{all_queries, ClusterConfig, TpchCluster, TransportMode};
     let cfg = ClusterConfig { sf: 0.002, workers: 2, seed: 3 };
     let mut fingerprints: Vec<Vec<f64>> = Vec::new();
-    for mode in
-        [TransportMode::Ipoib, TransportMode::HatRpcService, TransportMode::HatRpcFunction]
+    for mode in [TransportMode::Ipoib, TransportMode::HatRpcService, TransportMode::HatRpcFunction]
     {
         let fabric = Fabric::new(SimConfig::fast_test());
         let mut cluster = TpchCluster::start(&fabric, &cfg, mode);
@@ -227,8 +230,10 @@ fn tpch_answers_are_transport_invariant() {
         fingerprints.push(rows.iter().map(|(_, r, _)| r.fingerprint()).collect());
         cluster.shutdown();
     }
-    for q in 0..22 {
-        let (a, b, c) = (fingerprints[0][q], fingerprints[1][q], fingerprints[2][q]);
+    assert!(fingerprints.iter().all(|f| f.len() == 22));
+    for (q, ((&a, &b), &c)) in
+        fingerprints[0].iter().zip(&fingerprints[1]).zip(&fingerprints[2]).enumerate()
+    {
         assert!((a - b).abs() <= (a.abs() + b.abs()) * 1e-9 + 1e-9, "Q{} ipoib vs service", q + 1);
         assert!((a - c).abs() <= (a.abs() + c.abs()) * 1e-9 + 1e-9, "Q{} ipoib vs function", q + 1);
     }

@@ -1,0 +1,216 @@
+//! Vendored subset of the `criterion` API (offline build shim).
+//!
+//! Implements the builder/group/bencher surface the `hat-bench` harness
+//! uses, with a simple mean-of-samples measurement loop printed to
+//! stdout instead of criterion's full statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement harness handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to warm caches and page in code.
+        std::hint::black_box(f());
+        let deadline = Instant::now() + self.measurement_time;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while iters < self.sample_size as u64 || Instant::now() < deadline {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            total += start.elapsed();
+            iters += 1;
+            if iters >= self.sample_size as u64 && Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.criterion.measurement_time,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.mean_ns);
+    }
+
+    /// Benchmark a closure under a plain string id.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.criterion.measurement_time,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        self.report(id, b.mean_ns);
+    }
+
+    fn report(&self, id: &str, mean_ns: f64) {
+        let mut line = format!("{}/{}: {:.1} ns/iter", self.name, id, mean_ns);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 / (mean_ns / 1e9);
+                line.push_str(&format!(" ({per_sec:.0} elem/s)"));
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 / (mean_ns / 1e9);
+                line.push_str(&format!(" ({:.1} MiB/s)", per_sec / (1024.0 * 1024.0)));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+
+    /// Finish the group (separator line, matching criterion's flow).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark runner configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration (accepted for API compatibility).
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Apply command-line overrides (accepted for API compatibility; the
+    /// shim ignores harness flags).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None, sample_size }
+    }
+
+    /// Print the final summary (no-op beyond a trailing line here).
+    pub fn final_summary(&self) {
+        println!("benchmarks complete");
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.final_summary();
+        assert!(ran > 0, "closure must have been measured");
+    }
+}

@@ -1,0 +1,299 @@
+//! Vendored subset of the `proptest` API (offline build shim).
+//!
+//! Implements the strategy combinators, `any::<T>()`, collection/array
+//! helpers, regex-literal string strategies, and the `proptest!` macro
+//! family that this workspace's property tests use. Generation is
+//! deterministic: each test derives its RNG seed from its module path and
+//! name, so failures reproduce run-to-run. There is no shrinking — a
+//! failing case panics with the generated inputs' `Debug` representation
+//! left to the assertion message.
+
+pub mod config;
+pub mod runner;
+pub mod strategy;
+
+pub mod arbitrary {
+    //! `any::<T>()` — uniform strategies for primitive types.
+
+    use crate::runner::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one uniformly distributed value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps downstream codecs honest without
+            // surrogate-range complications.
+            (0x20 + (rng.next_u64() % 0x5f) as u8) as char
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64() * 2e9 - 1e9
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            (rng.unit_f64() * 2e9 - 1e9) as f32
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniform strategy over all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_map`.
+
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    use crate::runner::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy producing a `BTreeMap` with a size drawn from a range.
+    ///
+    /// Key collisions make the map smaller than the drawn size, exactly as
+    /// in real proptest.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = rng.usize_in(self.size.clone());
+            (0..n).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+        }
+    }
+
+    /// Map from `key` to `value` strategies with size in `size`.
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::runner::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy producing `[S::Value; N]`.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    /// Array of 4 values drawn from `element`.
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+        UniformArray { element }
+    }
+
+    /// Array of 8 values drawn from `element`.
+    pub fn uniform8<S: Strategy>(element: S) -> UniformArray<S, 8> {
+        UniformArray { element }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies beyond plain ranges.
+
+    pub mod f64 {
+        use crate::runner::TestRng;
+        use crate::strategy::Strategy;
+
+        /// Strategy over normal (finite, non-zero-exponent) `f64` values.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalStrategy;
+
+        /// Normal `f64` values: finite, never NaN/infinite/subnormal.
+        pub const NORMAL: NormalStrategy = NormalStrategy;
+
+        impl Strategy for NormalStrategy {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let v = f64::from_bits(rng.next_u64());
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Module-path re-exports (`prop::collection::vec`, ...).
+        pub use crate::{array, collection, num, strategy};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_generate_in_bounds() {
+        let mut rng = crate::runner::TestRng::deterministic("shim-test");
+        let s = prop::collection::vec(any::<u8>(), 3..10);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((3..10).contains(&v.len()));
+        }
+        let r = 5u64..100;
+        for _ in 0..50 {
+            let v = r.generate(&mut rng);
+            assert!((5..100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_literals_generate_matching_strings() {
+        let mut rng = crate::runner::TestRng::deterministic("regex-test");
+        let ident = "[a-zA-Z_][a-zA-Z0-9_]{0,30}";
+        for _ in 0..100 {
+            let s = ident.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 31, "{s:?}");
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s:?}");
+        }
+        let dots = ".{0,40}";
+        for _ in 0..100 {
+            let s = dots.generate(&mut rng);
+            assert!(s.len() <= 40);
+        }
+    }
+
+    #[test]
+    fn oneof_recursive_and_map_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum V {
+            N(i32),
+            L(Vec<V>),
+        }
+        let leaf = any::<i32>().prop_map(V::N);
+        let tree = leaf
+            .prop_recursive(3, 24, 4, |inner| prop::collection::vec(inner, 1..4).prop_map(V::L));
+        let mut rng = crate::runner::TestRng::deterministic("tree-test");
+        let mut saw_list = false;
+        for _ in 0..200 {
+            if matches!(tree.generate(&mut rng), V::L(_)) {
+                saw_list = true;
+            }
+        }
+        assert!(saw_list, "recursion must sometimes take the list branch");
+
+        let u = prop_oneof![Just(1u8), Just(2u8), 3u8..5];
+        for _ in 0..50 {
+            assert!((1..5).contains(&u.generate(&mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_binds_parameters(a in 0u32..100, b in prop::collection::vec(any::<bool>(), 0..8)) {
+            prop_assert!(a < 100);
+            prop_assert!(b.len() < 8);
+            prop_assert_eq!(a as u64 + 1, a as u64 + 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_works_without_config(x in any::<u8>()) {
+            prop_assert!(u16::from(x) < 256);
+        }
+    }
+}

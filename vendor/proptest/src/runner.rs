@@ -1,0 +1,72 @@
+//! Deterministic RNG used by the shimmed strategies and the `proptest!`
+//! macro expansion.
+
+use std::ops::Range;
+
+/// SplitMix64-based generator, seeded from the test's name so every run
+/// of a given test sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary label (the macro passes the test's module
+    /// path + name).
+    pub fn deterministic(label: &str) -> TestRng {
+        // FNV-1a over the label gives a stable, well-mixed seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `range` (empty ranges yield the start).
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        if range.end <= range.start {
+            return range.start;
+        }
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn same_label_same_stream() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("y");
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}
