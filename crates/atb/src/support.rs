@@ -44,13 +44,25 @@ pub fn latency_schema(payload: usize) -> ServiceSchema {
 /// The ATB throughput-benchmark schema: `throughput` goal with the client
 /// count and payload size under test (paper §5.2).
 pub fn throughput_schema(payload: usize, clients: usize) -> ServiceSchema {
+    throughput_schema_depth(payload, clients, 1)
+}
+
+/// [`throughput_schema`] plus a `queue_depth` hint: each client keeps up
+/// to `depth` echo calls in flight on a pipelined channel (open loop).
+/// `depth <= 1` leaves the hint off — the classic closed-loop schema.
+pub fn throughput_schema_depth(payload: usize, clients: usize, depth: usize) -> ServiceSchema {
+    let mut pairs = vec![
+        ("perf_goal".to_string(), "throughput".to_string()),
+        ("concurrency".to_string(), clients.to_string()),
+        ("payload_size".to_string(), payload.to_string()),
+    ];
+    if depth > 1 {
+        pairs.push(("queue_depth".to_string(), depth.to_string()));
+    }
+    let pairs: Vec<(&str, &str)> = pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
     ServiceSchema {
         name: "AtbEcho".to_string(),
-        service_hints: hints(&[
-            ("perf_goal", "throughput"),
-            ("concurrency", &clients.to_string()),
-            ("payload_size", &payload.to_string()),
-        ]),
+        service_hints: hints(&pairs),
         functions: vec![("echo".to_string(), HintBlock::default())],
     }
 }
@@ -166,6 +178,16 @@ pub fn decode_echo(reply: &[u8], seq: i32) -> Result<Vec<u8>> {
 /// buffers.
 pub const ENVELOPE_SLACK: usize = 128;
 
+/// Ring geometry for fixed-protocol channels: a pipelined channel's
+/// window IS its ring depth; classic channels keep the default ring.
+fn fixed_ring_slots(depth: usize) -> usize {
+    if depth > 1 {
+        depth
+    } else {
+        ProtocolConfig::default().ring_slots
+    }
+}
+
 /// A running ATB server for any [`Mode`].
 pub enum AtbServer {
     /// Hint-aware engine server.
@@ -197,6 +219,22 @@ impl AtbServer {
         schema: ServiceSchema,
         max_msg: usize,
     ) -> AtbServer {
+        Self::start_depth(fabric, node, service, mode, schema, max_msg, 1)
+    }
+
+    /// Like [`AtbServer::start`] with an explicit pipeline depth. Fixed
+    /// mode builds the protocol's pipelined server when `depth > 1`;
+    /// HatRPC mode ignores `depth` here — it negotiates the window from
+    /// the schema's `queue_depth` hint per connection.
+    pub fn start_depth(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        mode: Mode,
+        schema: ServiceSchema,
+        max_msg: usize,
+        depth: usize,
+    ) -> AtbServer {
         match mode {
             Mode::HatRpc => {
                 let server = HatServer::serve(
@@ -219,6 +257,7 @@ impl AtbServer {
                 let cfg = ProtocolConfig {
                     poll,
                     max_msg: max_msg + ENVELOPE_SLACK,
+                    ring_slots: fixed_ring_slots(depth),
                     ..Default::default()
                 };
                 let thread = std::thread::spawn(move || {
@@ -230,7 +269,12 @@ impl AtbServer {
                         };
                         let cfg = cfg.clone();
                         conns.push(std::thread::spawn(move || {
-                            let mut server = match accept_server(kind, ep, cfg) {
+                            let built = if depth > 1 {
+                                hat_protocols::accept_server_pipelined(kind, ep, cfg)
+                            } else {
+                                accept_server(kind, ep, cfg)
+                            };
+                            let mut server = match built {
                                 Ok(s) => s,
                                 Err(e) => {
                                     eprintln!("atb: server-side protocol setup failed: {e}");
@@ -312,6 +356,8 @@ impl AtbServer {
 pub enum AtbClient {
     Hat(HatClient),
     Fixed(Box<dyn hat_protocols::RpcClient>),
+    /// Fixed protocol over its pipelined channel (depth > 1).
+    Piped(Box<dyn hat_protocols::PipelinedClient>),
     Ipoib(TSocket),
 }
 
@@ -325,6 +371,21 @@ impl AtbClient {
         schema: &ServiceSchema,
         max_msg: usize,
     ) -> Result<AtbClient> {
+        Self::connect_depth(fabric, node, service, mode, schema, max_msg, 1)
+    }
+
+    /// Like [`AtbClient::connect`] with an explicit pipeline depth. Fixed
+    /// mode opens the protocol's pipelined channel when `depth > 1`;
+    /// HatRPC mode takes its window from the schema's `queue_depth` hint.
+    pub fn connect_depth(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        mode: Mode,
+        schema: &ServiceSchema,
+        max_msg: usize,
+        depth: usize,
+    ) -> Result<AtbClient> {
         Ok(match mode {
             Mode::HatRpc => AtbClient::Hat(HatClient::new(fabric, node, service, schema)),
             Mode::Fixed(kind, poll) => {
@@ -332,9 +393,14 @@ impl AtbClient {
                 let cfg = ProtocolConfig {
                     poll,
                     max_msg: max_msg + ENVELOPE_SLACK,
+                    ring_slots: fixed_ring_slots(depth),
                     ..Default::default()
                 };
-                AtbClient::Fixed(connect_client(kind, ep, cfg)?)
+                if depth > 1 {
+                    AtbClient::Piped(hat_protocols::connect_client_pipelined(kind, ep, cfg)?)
+                } else {
+                    AtbClient::Fixed(connect_client(kind, ep, cfg)?)
+                }
             }
             Mode::Ipoib => AtbClient::Ipoib(TSocket::dial(fabric, node, service)?),
         })
@@ -346,11 +412,71 @@ impl AtbClient {
         let reply = match self {
             AtbClient::Hat(c) => c.call(method, &request)?,
             AtbClient::Fixed(c) => c.call(&request)?,
+            AtbClient::Piped(p) => hat_protocols::pipeline::call_sync(p.as_mut(), &request)?,
             AtbClient::Ipoib(c) => {
                 hatrpc_core::transport::ClientTransport::call(c, method, &request)?
             }
         };
         decode_echo(&reply, seq)
+    }
+
+    /// Open-loop batch: issue one echo per payload, keeping the channel's
+    /// window full (pipelined stacks) or degrading to back-to-back
+    /// closed-loop calls (classic stacks). Sequence numbers run from
+    /// `base_seq`; replies come back in request order.
+    pub fn call_many(
+        &mut self,
+        method: &str,
+        base_seq: i32,
+        payloads: &[Vec<u8>],
+    ) -> Result<Vec<Vec<u8>>> {
+        match self {
+            AtbClient::Hat(c) => {
+                let requests: Vec<Vec<u8>> = payloads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| encode_echo(method, base_seq + i as i32, p))
+                    .collect();
+                let replies = c.call_many(method, &requests)?;
+                replies
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| decode_echo(r, base_seq + i as i32))
+                    .collect()
+            }
+            AtbClient::Piped(p) => {
+                // Sliding window straight on the protocol channel.
+                let window = p.window();
+                let mut inflight = std::collections::VecDeque::with_capacity(window);
+                let mut out = Vec::with_capacity(payloads.len());
+                let mut next = 0usize;
+                loop {
+                    // Refill only once the window has drained to half, so
+                    // submits stay bursty (one doorbell per burst) instead
+                    // of ack-clocking into one doorbell per call.
+                    if inflight.len() <= window / 2 {
+                        while inflight.len() < window && next < payloads.len() {
+                            let seq = base_seq + next as i32;
+                            let token = p.submit(&encode_echo(method, seq, &payloads[next]))?;
+                            inflight.push_back((token, seq));
+                            next += 1;
+                        }
+                    }
+                    let Some(&(token, seq)) = inflight.front() else { break };
+                    let reply = p.wait(token)?;
+                    out.push(decode_echo(reply.as_slice(), seq)?);
+                    inflight.pop_front();
+                }
+                Ok(out)
+            }
+            _ => {
+                let mut out = Vec::with_capacity(payloads.len());
+                for (i, p) in payloads.iter().enumerate() {
+                    out.push(self.call(method, base_seq + i as i32, p)?);
+                }
+                Ok(out)
+            }
+        }
     }
 }
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use hat_rdma_sim::{now_ns, Fabric};
 use hatrpc_core::error::Result;
 
-use crate::support::{throughput_schema, AtbClient, AtbServer};
+use crate::support::{throughput_schema_depth, AtbClient, AtbServer};
 use crate::Mode;
 
 /// Throughput benchmark parameters.
@@ -23,6 +23,12 @@ pub struct ThroughputConfig {
     pub client_nodes: usize,
     /// Calls per client.
     pub iters: usize,
+    /// In-flight requests per client. `1` is the classic closed loop
+    /// (each call waits for its reply); `> 1` drives the channel open
+    /// loop through the pipelined path, keeping up to `depth` echoes in
+    /// flight — HatRPC mode via the `queue_depth` hint, fixed mode via
+    /// the protocol's pipelined channel directly.
+    pub depth: usize,
 }
 
 impl Default for ThroughputConfig {
@@ -33,6 +39,7 @@ impl Default for ThroughputConfig {
             clients: 4,
             client_nodes: 4,
             iters: 32,
+            depth: 1,
         }
     }
 }
@@ -57,8 +64,16 @@ pub struct ThroughputResult {
 /// Run the throughput benchmark inside `fabric` (creates its own nodes).
 pub fn run_throughput(fabric: &Fabric, cfg: &ThroughputConfig) -> Result<ThroughputResult> {
     let snode = fabric.add_node("atb-thr-server");
-    let schema = throughput_schema(cfg.payload, cfg.clients);
-    let server = AtbServer::start(fabric, &snode, "atb-thr", cfg.mode, schema.clone(), cfg.payload);
+    let schema = throughput_schema_depth(cfg.payload, cfg.clients, cfg.depth);
+    let server = AtbServer::start_depth(
+        fabric,
+        &snode,
+        "atb-thr",
+        cfg.mode,
+        schema.clone(),
+        cfg.payload,
+        cfg.depth,
+    );
 
     let client_nodes: Vec<_> = (0..cfg.client_nodes.max(1))
         .map(|i| fabric.add_node(&format!("atb-thr-client{i}")))
@@ -75,14 +90,22 @@ pub fn run_throughput(fabric: &Fabric, cfg: &ThroughputConfig) -> Result<Through
         let mode = cfg.mode;
         let payload_len = cfg.payload;
         let iters = cfg.iters;
+        let depth = cfg.depth;
         handles.push(std::thread::spawn(move || -> Result<(u64, u64)> {
             // Fallible setup happens before the barrier, but the barrier
             // must be reached on EVERY path — otherwise one failed client
             // deadlocks the whole harness at the rendezvous.
             let payload = vec![0xA5u8; payload_len];
             let setup = (|| {
-                let mut client =
-                    AtbClient::connect(&fabric, &node, "atb-thr", mode, &schema, payload_len)?;
+                let mut client = AtbClient::connect_depth(
+                    &fabric,
+                    &node,
+                    "atb-thr",
+                    mode,
+                    &schema,
+                    payload_len,
+                    depth,
+                )?;
                 // Warm up the channel before the measured window.
                 client.call("echo", 0, &payload)?;
                 Ok::<_, hatrpc_core::CoreError>(client)
@@ -90,8 +113,15 @@ pub fn run_throughput(fabric: &Fabric, cfg: &ThroughputConfig) -> Result<Through
             barrier.wait();
             let mut client = setup?;
             let t0 = now_ns();
-            for i in 0..iters {
-                client.call("echo", i as i32 + 1, &payload)?;
+            if depth > 1 {
+                // Open loop: the whole run is one batch; the channel
+                // keeps `depth` echoes in flight throughout.
+                let payloads = vec![payload; iters];
+                client.call_many("echo", 1, &payloads)?;
+            } else {
+                for i in 0..iters {
+                    client.call("echo", i as i32 + 1, &payload)?;
+                }
             }
             let elapsed = now_ns() - t0;
             Ok((iters as u64, elapsed))
@@ -146,6 +176,23 @@ mod tests {
             four.ops_per_sec,
             one.ops_per_sec
         );
+    }
+
+    #[test]
+    fn open_loop_depth_runs_on_every_stack() {
+        use hat_protocols::ProtocolKind;
+        use hat_rdma_sim::PollMode;
+        // Depth 4 over the hinted engine and over a fixed pipelined
+        // protocol; both must produce correct echoes and sane numbers.
+        for mode in [Mode::HatRpc, Mode::Fixed(ProtocolKind::EagerSendRecv, PollMode::Busy)] {
+            let fabric = Fabric::new(SimConfig::fast_test());
+            let r = run_throughput(
+                &fabric,
+                &ThroughputConfig { mode, clients: 2, iters: 24, depth: 4, ..Default::default() },
+            )
+            .unwrap();
+            assert!(r.ops_per_sec > 0.0, "{}", r.label);
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn bench(c: &mut Criterion) {
                                 clients,
                                 client_nodes: 2,
                                 iters: 6,
+                                depth: 1,
                             },
                         )
                         .expect("run")

@@ -212,6 +212,7 @@ pub fn fig12_atb_throughput(scale: Scale) -> Table {
                         clients: n,
                         client_nodes: n.clamp(1, 4),
                         iters,
+                        depth: 1,
                     },
                 )
                 .expect("throughput run");

@@ -16,12 +16,15 @@
 //!   the server may poll differently than the client), and serves with
 //!   the configured threading policy.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hat_idl::hints::{ResolvedHints, Side, TransportHint};
-use hat_protocols::{accept_server, connect_client, ProtocolConfig, ProtocolKind, RpcClient};
+use hat_protocols::{
+    accept_server, accept_server_pipelined, connect_client, connect_client_pipelined,
+    ProtocolConfig, ProtocolKind, RpcClient, PIPELINED_KINDS,
+};
 use hat_rdma_sim::{numa, Fabric, Node, NodeStats, PollMode, RdmaError};
 
 use crate::error::{CoreError, Result};
@@ -73,13 +76,35 @@ struct Preamble {
     max_msg: u64,
     ring_slots: u32,
     eager_threshold: u32,
+    /// Requested in-flight window. `> 1` asks the server to build the
+    /// pipelined variant of the protocol; `1` (or `0` from old peers)
+    /// means the classic one-at-a-time channel.
+    queue_depth: u32,
     fn_scope: String,
+}
+
+/// Fixed-size prefix of the encoded preamble, before the variable scope.
+const PREAMBLE_FIXED: usize = 24;
+/// Byte budget for the function scope carried in the preamble.
+const MAX_SCOPE_BYTES: usize = 120;
+
+/// Cap `scope` to [`MAX_SCOPE_BYTES`], backing off to a char boundary so
+/// the wire never carries a scope cut mid-codepoint.
+fn wire_scope(scope: &str) -> &str {
+    if scope.len() <= MAX_SCOPE_BYTES {
+        return scope;
+    }
+    let mut end = MAX_SCOPE_BYTES;
+    while !scope.is_char_boundary(end) {
+        end -= 1;
+    }
+    &scope[..end]
 }
 
 impl Preamble {
     fn encode(&self) -> Vec<u8> {
-        let scope = &self.fn_scope.as_bytes()[..self.fn_scope.len().min(120)];
-        let mut out = Vec::with_capacity(20 + scope.len());
+        let scope = wire_scope(&self.fn_scope).as_bytes();
+        let mut out = Vec::with_capacity(PREAMBLE_FIXED + scope.len());
         out.push(kind_to_u8(self.kind));
         out.push(match self.client_poll {
             PollMode::Busy => 0,
@@ -88,13 +113,14 @@ impl Preamble {
         out.extend_from_slice(&self.max_msg.to_le_bytes());
         out.extend_from_slice(&self.ring_slots.to_le_bytes());
         out.extend_from_slice(&self.eager_threshold.to_le_bytes());
+        out.extend_from_slice(&self.queue_depth.to_le_bytes());
         out.extend_from_slice(&(scope.len() as u16).to_le_bytes());
         out.extend_from_slice(scope);
         out
     }
 
     fn decode(bytes: &[u8]) -> Result<Preamble> {
-        if bytes.len() < 20 {
+        if bytes.len() < PREAMBLE_FIXED {
             return Err(CoreError::Protocol("short preamble".into()));
         }
         let kind = kind_from_u8(bytes[0])?;
@@ -102,12 +128,22 @@ impl Preamble {
         let max_msg = u64::from_le_bytes(bytes[2..10].try_into().expect("8B"));
         let ring_slots = u32::from_le_bytes(bytes[10..14].try_into().expect("4B"));
         let eager_threshold = u32::from_le_bytes(bytes[14..18].try_into().expect("4B"));
-        let slen = u16::from_le_bytes(bytes[18..20].try_into().expect("2B")) as usize;
-        if bytes.len() < 20 + slen {
+        let queue_depth = u32::from_le_bytes(bytes[18..22].try_into().expect("4B"));
+        let slen = u16::from_le_bytes(bytes[22..24].try_into().expect("2B")) as usize;
+        if bytes.len() < PREAMBLE_FIXED + slen {
             return Err(CoreError::Protocol("truncated preamble scope".into()));
         }
-        let fn_scope = String::from_utf8_lossy(&bytes[20..20 + slen]).into_owned();
-        Ok(Preamble { kind, client_poll, max_msg, ring_slots, eager_threshold, fn_scope })
+        let fn_scope =
+            String::from_utf8_lossy(&bytes[PREAMBLE_FIXED..PREAMBLE_FIXED + slen]).into_owned();
+        Ok(Preamble {
+            kind,
+            client_poll,
+            max_msg,
+            ring_slots,
+            eager_threshold,
+            queue_depth,
+            fn_scope,
+        })
     }
 }
 
@@ -119,6 +155,10 @@ struct ChannelKey {
     poll: PollMode,
     max_msg: u64,
     tcp: bool,
+    /// In-flight window of the channel (1 = classic one-at-a-time). Part
+    /// of the key so a depth-8 function never shares a connection with a
+    /// depth-1 one — their ring geometries differ.
+    depth: u32,
 }
 
 /// Precomputed per-function execution plan (the cached dynamic hint).
@@ -127,11 +167,17 @@ struct FnPlan {
     selection: Selection,
     max_msg: u64,
     numa_bind: bool,
+    /// Resolved `queue_depth` hint, already vetted against the selected
+    /// protocol (forced to 1 when pipelining is unavailable).
+    queue_depth: u32,
     key: ChannelKey,
 }
 
 /// Default eager ring depth for engine-created channels.
 const ENGINE_RING_SLOTS: usize = 16;
+/// Upper bound on the `queue_depth` hint: every in-flight slot pins ring
+/// memory on both peers, so a runaway hint must not exhaust the MR budget.
+const MAX_QUEUE_DEPTH: u32 = 1024;
 /// The Hybrid-EagerRNDV threshold (paper §4.3: 4 KB).
 const ENGINE_EAGER_THRESHOLD: usize = 4096;
 /// Floor for channel buffer sizing.
@@ -158,15 +204,27 @@ fn plan_for(schema: &ServiceSchema, func: &str, bounds: &SubscriptionBounds) -> 
     };
     let max_msg = (payload + ENVELOPE_SLACK).next_power_of_two();
     let transport = client.transport.unwrap_or(TransportHint::Rdma);
+    let tcp = transport == TransportHint::Tcp;
+    // The queue_depth hint only bites when the selected protocol has a
+    // pipelined implementation and the call rides RDMA; otherwise the
+    // plan quietly degrades to a classic depth-1 channel.
+    let queue_depth = match client.queue_depth {
+        Some(d) if d > 1 && !tcp && PIPELINED_KINDS.contains(&selection.protocol) => {
+            d.min(MAX_QUEUE_DEPTH)
+        }
+        _ => 1,
+    };
     FnPlan {
         selection,
         max_msg,
         numa_bind: client.numa_binding.unwrap_or(false),
+        queue_depth,
         key: ChannelKey {
             kind: selection.protocol,
             poll: selection.poll,
             max_msg,
-            tcp: transport == TransportHint::Tcp,
+            tcp,
+            depth: queue_depth,
         },
     }
 }
@@ -388,18 +446,160 @@ impl HatClient {
         channel.call(func, request)
     }
 
+    /// Issue a batch of calls to `func`, keeping up to `queue_depth`
+    /// requests in flight on the function's pipelined channel. Responses
+    /// come back in request order. Functions without a `queue_depth`
+    /// hint (or whose protocol has no pipelined variant) fall back to
+    /// sequential [`HatClient::call`]s.
+    ///
+    /// The [`CallPolicy`] applies to the batch: if the channel fails
+    /// mid-window with a retryable error, the poisoned channel is
+    /// dropped, the client reconnects after backoff, and **only the
+    /// requests without a banked response are re-issued** — responses
+    /// already taken from the window are never re-executed, so each
+    /// entry of the result reflects exactly one completion. (As with
+    /// single-call retries, a request whose response was lost in flight
+    /// may execute twice server-side; retries remain opt-in.)
+    pub fn call_many(&mut self, func: &str, requests: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        let plan = self.plans.get(func).unwrap_or(&self.default_plan).clone();
+        if plan.queue_depth <= 1 {
+            return requests.iter().map(|r| self.call(func, r)).collect();
+        }
+        let mut plan = plan;
+        let largest = requests.iter().map(Vec::len).max().unwrap_or(0);
+        let required = (largest as u64 + ENVELOPE_SLACK).next_power_of_two().max(MIN_CHANNEL_MSG);
+        if required > plan.max_msg {
+            plan.max_msg = required;
+            plan.key.max_msg = required;
+        }
+        let policy = self.policy;
+        let mut backoff = policy.backoff;
+        let mut attempts_left = policy.retries;
+        let mut done: Vec<Option<Vec<u8>>> = vec![None; requests.len()];
+        loop {
+            match self.call_many_attempt(&plan, func, requests, &mut done) {
+                Ok(()) => {
+                    NodeStats::add(&self.node.stats().calls_ok, requests.len() as u64);
+                    return Ok(done
+                        .into_iter()
+                        .map(|r| r.expect("completed attempt banked every response"))
+                        .collect());
+                }
+                Err(e) if attempts_left > 0 && is_retryable(&e) => {
+                    attempts_left -= 1;
+                    NodeStats::add(&self.node.stats().calls_retried, 1);
+                    self.channels.remove(&plan.key);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+                Err(e) => {
+                    let counter = if matches!(e, CoreError::Rdma(RdmaError::Timeout)) {
+                        &self.node.stats().calls_timed_out
+                    } else {
+                        &self.node.stats().calls_failed
+                    };
+                    NodeStats::add(counter, 1);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One sliding-window pass over the requests still missing a
+    /// response in `done`. On error the window's unacked slots stay
+    /// `None`, ready for re-issue by the retry loop in `call_many`.
+    fn call_many_attempt(
+        &mut self,
+        plan: &FnPlan,
+        func: &str,
+        requests: &[Vec<u8>],
+        done: &mut [Option<Vec<u8>>],
+    ) -> Result<()> {
+        if !self.channels.contains_key(&plan.key) {
+            let channel = self.open_channel(plan, func)?;
+            self.channels.insert(plan.key.clone(), channel);
+        }
+        let channel = self.channels.get_mut(&plan.key).expect("just inserted");
+        let _bind = plan.numa_bind.then(|| numa::bind_current_thread(self.bind_core));
+        let pipe = channel
+            .pipelined()
+            .ok_or_else(|| CoreError::Protocol("plan promised a pipelined channel".into()))?;
+        let window = pipe.window();
+        let mut inflight: VecDeque<(hat_protocols::Token, usize)> = VecDeque::new();
+        let mut next = 0usize;
+        loop {
+            // Refill with hysteresis: top the window up only once it has
+            // drained to half. Refilling one slot per completion would
+            // ack-clock the channel into lockstep — one request, one
+            // response, one doorbell, one wakeup per call. Letting slots
+            // pool keeps the submits bursty, so a burst rides one doorbell
+            // (the flush inside wait()) and the server answers it with one
+            // chained post of its own.
+            if inflight.len() <= window / 2 {
+                while inflight.len() < window && next < requests.len() {
+                    if done[next].is_none() {
+                        let token = pipe.submit(&requests[next])?;
+                        inflight.push_back((token, next));
+                    }
+                    next += 1;
+                }
+            }
+            let Some(&(token, idx)) = inflight.front() else { return Ok(()) };
+            let response = pipe.wait(token)?;
+            done[idx] = Some(response.to_vec());
+            inflight.pop_front();
+        }
+    }
+
+    /// Borrow the raw pipelined window for `func` — submit/try_complete/
+    /// wait at will. Opens the channel on first use. Errors when the
+    /// function's plan is not pipelined (no `queue_depth` hint above 1,
+    /// or a protocol without a pipelined implementation).
+    ///
+    /// Unlike [`HatClient::call`] / [`HatClient::call_many`], direct
+    /// window access is NOT wrapped in the retry policy: the caller owns
+    /// the tokens and decides what to re-issue after a failure.
+    pub fn call_pipelined(
+        &mut self,
+        func: &str,
+    ) -> Result<&mut dyn hat_protocols::PipelinedClient> {
+        let plan = self.plans.get(func).unwrap_or(&self.default_plan).clone();
+        if plan.queue_depth <= 1 {
+            return Err(CoreError::Protocol(format!(
+                "function '{func}' has no pipelined channel: hint it with queue_depth > 1 \
+                 over a pipelined-capable protocol"
+            )));
+        }
+        if !self.channels.contains_key(&plan.key) {
+            let channel = self.open_channel(&plan, func)?;
+            self.channels.insert(plan.key.clone(), channel);
+        }
+        self.channels
+            .get_mut(&plan.key)
+            .expect("just inserted")
+            .pipelined()
+            .ok_or_else(|| CoreError::Protocol("plan promised a pipelined channel".into()))
+    }
+
     fn open_channel(&self, plan: &FnPlan, func: &str) -> Result<Box<dyn ClientTransport>> {
         if plan.key.tcp {
             let socket = TSocket::dial(&self.fabric, &self.node, &tcp_service(&self.service))?;
             return Ok(Box::new(socket));
         }
         let ep = self.fabric.dial(&self.node, &self.service)?;
+        // A pipelined channel's window IS its ring depth: each in-flight
+        // request owns one slot of every ring for its whole lifetime.
+        let ring_slots =
+            if plan.queue_depth > 1 { plan.queue_depth as usize } else { ENGINE_RING_SLOTS };
         let preamble = Preamble {
             kind: plan.selection.protocol,
             client_poll: plan.selection.poll,
             max_msg: plan.max_msg,
-            ring_slots: ENGINE_RING_SLOTS as u32,
+            ring_slots: ring_slots as u32,
             eager_threshold: ENGINE_EAGER_THRESHOLD as u32,
+            queue_depth: plan.queue_depth,
             fn_scope: func.to_string(),
         };
         let ack = hat_protocols::exchange_blobs_deadline(
@@ -413,10 +613,14 @@ impl HatClient {
         let cfg = ProtocolConfig {
             poll: plan.selection.poll,
             max_msg: plan.max_msg as usize,
-            ring_slots: ENGINE_RING_SLOTS,
+            ring_slots,
             eager_threshold: ENGINE_EAGER_THRESHOLD,
             op_timeout_ns: self.policy.deadline.as_nanos() as u64,
         };
+        if plan.queue_depth > 1 {
+            let client = connect_client_pipelined(plan.selection.protocol, ep, cfg)?;
+            return Ok(Box::new(RdmaPipelinedCall { inner: client }));
+        }
         let client = connect_client(plan.selection.protocol, ep, cfg)?;
         Ok(Box::new(RdmaCall { inner: client }))
     }
@@ -434,6 +638,28 @@ impl ClientTransport for RdmaCall {
 
     fn label(&self) -> &'static str {
         "trdma-hinted"
+    }
+}
+
+/// Adapter from a pipelined protocol client to [`ClientTransport`]:
+/// single calls degrade to a submit-then-wait window of one, and the
+/// window surfaces through [`ClientTransport::pipelined`] for
+/// [`HatClient::call_many`] / [`HatClient::call_pipelined`].
+struct RdmaPipelinedCall {
+    inner: Box<dyn hat_protocols::PipelinedClient>,
+}
+
+impl ClientTransport for RdmaPipelinedCall {
+    fn call(&mut self, _fn_name: &str, request: &[u8]) -> Result<Vec<u8>> {
+        Ok(hat_protocols::pipeline::call_sync(self.inner.as_mut(), request)?)
+    }
+
+    fn label(&self) -> &'static str {
+        "trdma-hinted-pipelined"
+    }
+
+    fn pipelined(&mut self) -> Option<&mut dyn hat_protocols::PipelinedClient> {
+        Some(self.inner.as_mut())
     }
 }
 
@@ -644,7 +870,13 @@ fn negotiate(ep: hat_rdma_sim::Endpoint, schema: &ServiceSchema) -> Result<WorkI
         ..ProtocolConfig::default()
     };
     let bind_core = ep.node().topology().nic_node * ep.node().topology().cores_per_numa();
-    let server = accept_server(preamble.kind, ep, cfg)?;
+    // queue_depth > 1 asks for the protocol's pipelined variant: the
+    // window rides in `ring_slots`, so the geometry above already fits.
+    let server = if preamble.queue_depth > 1 {
+        accept_server_pipelined(preamble.kind, ep, cfg)?
+    } else {
+        accept_server(preamble.kind, ep, cfg)?
+    };
     Ok(WorkItem { server, numa_bind: server_hints.numa_binding.unwrap_or(false), bind_core })
 }
 
@@ -710,10 +942,76 @@ mod tests {
             max_msg: 131072,
             ring_slots: 16,
             eager_threshold: 4096,
+            queue_depth: 8,
             fn_scope: "bulk".into(),
         };
         assert_eq!(Preamble::decode(&p.encode()).unwrap(), p);
         assert!(Preamble::decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn preamble_scope_truncates_on_a_char_boundary() {
+        // "é" is 2 bytes; after the 1-byte prefix every char starts on an
+        // odd offset, so byte 120 lands mid-codepoint. The old byte-slice
+        // truncation panicked here.
+        let scope = format!("x{}", "é".repeat(70));
+        let p = Preamble {
+            kind: ProtocolKind::EagerSendRecv,
+            client_poll: PollMode::Busy,
+            max_msg: 4096,
+            ring_slots: 16,
+            eager_threshold: 4096,
+            queue_depth: 1,
+            fn_scope: scope.clone(),
+        };
+        let decoded = Preamble::decode(&p.encode()).unwrap();
+        assert!(decoded.fn_scope.len() <= MAX_SCOPE_BYTES);
+        assert!(scope.starts_with(&decoded.fn_scope), "truncation must keep a clean prefix");
+        assert_eq!(
+            decoded.fn_scope,
+            format!("x{}", "é".repeat(59)),
+            "119 bytes: the last full char before the cap"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Satellite: encode/decode round-trips for every field, and the
+        /// scope survives as a valid UTF-8 prefix no matter what the
+        /// caller puts in it (ASCII, CJK, emoji, 4-byte astral chars).
+        #[test]
+        fn preamble_roundtrips_for_arbitrary_scopes(
+            kind_ix in 0usize..ProtocolKind::ALL.len(),
+            busy in proptest::prelude::any::<bool>(),
+            max_msg in proptest::prelude::any::<u64>(),
+            ring_slots in proptest::prelude::any::<u32>(),
+            eager_threshold in proptest::prelude::any::<u32>(),
+            queue_depth in proptest::prelude::any::<u32>(),
+            scope in ".{0,200}",
+        ) {
+            let p = Preamble {
+                kind: ProtocolKind::ALL[kind_ix],
+                client_poll: if busy { PollMode::Busy } else { PollMode::Event },
+                max_msg,
+                ring_slots,
+                eager_threshold,
+                queue_depth,
+                fn_scope: scope.clone(),
+            };
+            let d = Preamble::decode(&p.encode()).unwrap();
+            proptest::prop_assert_eq!(d.kind, p.kind);
+            proptest::prop_assert_eq!(d.client_poll, p.client_poll);
+            proptest::prop_assert_eq!(d.max_msg, max_msg);
+            proptest::prop_assert_eq!(d.ring_slots, ring_slots);
+            proptest::prop_assert_eq!(d.eager_threshold, eager_threshold);
+            proptest::prop_assert_eq!(d.queue_depth, queue_depth);
+            proptest::prop_assert!(d.fn_scope.len() <= MAX_SCOPE_BYTES);
+            proptest::prop_assert!(scope.starts_with(&d.fn_scope));
+            if scope.len() <= MAX_SCOPE_BYTES {
+                proptest::prop_assert_eq!(d.fn_scope, scope);
+            }
+        }
     }
 
     #[test]
@@ -831,6 +1129,97 @@ mod tests {
         let cnode = fabric.add_node("client");
         let mut client = HatClient::new(&fabric, &cnode, "plain", &schema);
         assert_eq!(client.call("anything", b"ok").unwrap(), b"ok");
+        server.shutdown();
+    }
+
+    /// A service whose `piped` function asks for a depth-8 window.
+    const PIPED_IDL: &str = r#"
+        service Piped {
+            binary piped(1: binary p) [ hint: perf_goal = latency, payload_size = 512, queue_depth = 8; ]
+            binary solo(1: binary p) [ hint: perf_goal = latency, payload_size = 512; ]
+        }
+    "#;
+
+    fn piped_setup() -> (Fabric, Arc<Node>, HatServer, ServiceSchema) {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let schema = ServiceSchema::parse(PIPED_IDL, "Piped").unwrap();
+        let server = HatServer::serve(
+            &fabric,
+            &snode,
+            "piped",
+            schema.clone(),
+            ServerPolicy::Threaded,
+            echo_factory(),
+        );
+        (fabric, snode, server, schema)
+    }
+
+    #[test]
+    fn queue_depth_hint_opens_a_pipelined_channel() {
+        let (fabric, _snode, server, schema) = piped_setup();
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "piped", &schema);
+
+        let requests: Vec<Vec<u8>> = (0..32u8).map(|i| vec![i; 64 + i as usize]).collect();
+        let responses = client.call_many("piped", &requests).unwrap();
+        assert_eq!(responses, requests, "responses come back in request order");
+
+        let stats = cnode.stats_snapshot();
+        assert_eq!(stats.pipelined_calls, 32, "the batch rode the pipelined path: {stats:?}");
+        assert!(
+            stats.inflight_hwm >= 8,
+            "a 32-call batch over a depth-8 window must fill it: {stats:?}"
+        );
+        assert_eq!(stats.calls_ok, 32);
+
+        // Plain calls share the same pipelined channel (window of one).
+        assert_eq!(client.call("piped", b"solo ride").unwrap(), b"solo ride");
+        assert_eq!(client.open_channels(), 1);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn call_many_without_the_hint_falls_back_to_sequential_calls() {
+        let (fabric, _snode, server, schema) = piped_setup();
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "piped", &schema);
+
+        let requests: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 32]).collect();
+        let responses = client.call_many("solo", &requests).unwrap();
+        assert_eq!(responses, requests);
+        let stats = cnode.stats_snapshot();
+        assert_eq!(stats.pipelined_calls, 0, "unhinted function stays on the classic path");
+        assert_eq!(stats.calls_ok, 6);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn call_pipelined_exposes_the_raw_window() {
+        let (fabric, _snode, server, schema) = piped_setup();
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "piped", &schema);
+
+        let pipe = client.call_pipelined("piped").unwrap();
+        assert_eq!(pipe.window(), 8);
+        let tokens: Vec<_> = (0..8u8).map(|i| pipe.submit(&[i; 48]).unwrap()).collect();
+        assert_eq!(pipe.in_flight(), 8);
+        // Take responses in reverse submission order: tokens, not FIFO
+        // position, name the completions.
+        for (i, &tok) in tokens.iter().enumerate().rev() {
+            let resp = pipe.wait(tok).unwrap();
+            assert_eq!(resp.as_slice(), &[i as u8; 48]);
+        }
+        assert_eq!(pipe.in_flight(), 0);
+
+        // The unhinted sibling has no window to hand out.
+        match client.call_pipelined("solo") {
+            Err(e) => assert!(e.to_string().contains("queue_depth"), "unexpected error: {e}"),
+            Ok(_) => panic!("unhinted function must not expose a window"),
+        }
+        drop(client);
         server.shutdown();
     }
 }

@@ -27,6 +27,13 @@ pub trait ClientTransport: Send {
 
     /// Transport label for diagnostics.
     fn label(&self) -> &'static str;
+
+    /// The underlying pipelined channel, when this transport has one.
+    /// Channels opened with `queue_depth > 1` over a pipelined-capable
+    /// protocol expose it; every other transport answers `None`.
+    fn pipelined(&mut self) -> Option<&mut dyn hat_protocols::PipelinedClient> {
+        None
+    }
 }
 
 /// Server side of a message transport, bound to one accepted connection.

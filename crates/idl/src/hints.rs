@@ -14,6 +14,7 @@
 //! | `numa_binding` | `true`, `false` | bind workers to the NIC socket |
 //! | `transport` | `rdma`, `tcp` | hybrid transports (§5.5) |
 //! | `priority` | `high`, `low` | de-prioritize heartbeat-class functions |
+//! | `queue_depth` | positive integer | pipelined in-flight request window |
 //!
 //! Unknown keys or malformed values are *filtered out* during validation
 //! and reported as warnings — exactly the paper's check/merge pass — so a
@@ -170,6 +171,8 @@ pub struct HintSet {
     pub transport: Option<TransportHint>,
     /// `priority`.
     pub priority: Option<PriorityHint>,
+    /// `queue_depth` (pipelined in-flight request window; 1 = synchronous).
+    pub queue_depth: Option<u32>,
 }
 
 /// A non-fatal validation complaint (unknown key / bad value).
@@ -253,6 +256,10 @@ impl HintSet {
                     "low" => set.priority = Some(PriorityHint::Low),
                     _ => warn("expected high | low"),
                 },
+                "queue_depth" => match value.parse::<u32>() {
+                    Ok(n) if n > 0 => set.queue_depth = Some(n),
+                    _ => warn("expected a positive integer"),
+                },
                 _ => warn("unknown hint key"),
             }
         }
@@ -276,6 +283,7 @@ impl HintSet {
             numa_binding: other.numa_binding.or(self.numa_binding),
             transport: other.transport.or(self.transport),
             priority: other.priority.or(self.priority),
+            queue_depth: other.queue_depth.or(self.queue_depth),
         }
     }
 }
@@ -394,6 +402,7 @@ mod tests {
                 ("numa_binding", "true"),
                 ("transport", "tcp"),
                 ("priority", "low"),
+                ("queue_depth", "8"),
             ],
             &mut warnings,
         );
@@ -405,6 +414,15 @@ mod tests {
         assert_eq!(set.numa_binding, Some(true));
         assert_eq!(set.transport, Some(TransportHint::Tcp));
         assert_eq!(set.priority, Some(PriorityHint::Low));
+        assert_eq!(set.queue_depth, Some(8));
+    }
+
+    #[test]
+    fn queue_depth_rejects_non_positive_values() {
+        let mut warnings = Vec::new();
+        let set = HintSet::from_raw([("queue_depth", "0"), ("queue_depth", "-4")], &mut warnings);
+        assert_eq!(set.queue_depth, None);
+        assert_eq!(warnings.len(), 2);
     }
 
     #[test]

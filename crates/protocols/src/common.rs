@@ -307,12 +307,23 @@ impl CtrlRing {
     /// Send a control message (inline).
     pub(crate) fn send(&self, wr_id: u64, data: &[u8]) -> Result<()> {
         assert!(data.len() <= self.slot_size, "control message too large for ring slot");
-        self.ep.post_send(&[SendWr::send_inline(wr_id, data.to_vec())])
+        self.ep.post_send(&[SendWr::send_inline(wr_id, data)])
     }
 
     /// Receive one control message; returns `None` on disconnect.
     pub(crate) fn recv(&self, poll: PollMode) -> Result<Option<Vec<u8>>> {
         let Some(comp) = poll_recv(&self.ep, poll, self.timeout_ns)? else { return Ok(None) };
+        self.read_slot(comp).map(Some)
+    }
+
+    /// Non-blocking receive: `None` when no message is ready right now.
+    pub(crate) fn try_recv(&self) -> Result<Option<Vec<u8>>> {
+        let Some(comp) = self.ep.recv_cq().try_poll() else { return Ok(None) };
+        self.read_slot(comp).map(Some)
+    }
+
+    /// Copy one completed slot out and recycle it.
+    fn read_slot(&self, comp: hat_rdma_sim::Completion) -> Result<Vec<u8>> {
         comp.ok()?;
         let slot = comp.wr_id as usize % self.slots;
         let data = self.mr.read_vec(slot * self.slot_size, comp.byte_len)?;
@@ -323,7 +334,7 @@ impl CtrlRing {
             slot * self.slot_size,
             self.slot_size,
         ))?;
-        Ok(Some(data))
+        Ok(data)
     }
 }
 
@@ -345,7 +356,7 @@ pub fn exchange_blobs_deadline(ep: &Endpoint, blob: &[u8], timeout_ns: u64) -> R
     assert!(blob.len() <= HSK_SLOT, "handshake blob too large");
     let mr = ep.pd().register(HSK_SLOT)?;
     ep.post_recv(RecvWr::new(u64::MAX, mr.clone(), 0, HSK_SLOT))?;
-    ep.post_send(&[SendWr::send_inline(u64::MAX - 1, blob.to_vec())])?;
+    ep.post_send(&[SendWr::send_inline(u64::MAX - 1, blob)])?;
     let comp = poll_recv(ep, PollMode::Busy, timeout_ns)?
         .ok_or(hat_rdma_sim::RdmaError::Disconnected)?
         .ok()?;

@@ -98,16 +98,13 @@ impl DirectWrite {
             Notify::SeparateSend => {
                 // Two posts → two doorbells.
                 self.ep.post_send(&[write])?;
-                self.ep.post_send(&[SendWr::send_inline(
-                    2,
-                    (data.len() as u32).to_le_bytes().to_vec(),
-                )])?;
+                self.ep.post_send(&[SendWr::send_inline(2, &(data.len() as u32).to_le_bytes())])?;
             }
             Notify::ChainedSend => {
                 // One chained post → one doorbell.
                 self.ep.post_send(&[
                     write,
-                    SendWr::send_inline(2, (data.len() as u32).to_le_bytes().to_vec()),
+                    SendWr::send_inline(2, &(data.len() as u32).to_le_bytes()),
                 ])?;
             }
             Notify::WriteImm => {

@@ -107,7 +107,7 @@ impl RpcClient for Herd {
             .sub(0, (HDR + request.len()) as u64);
         self.ep.post_send(&[
             SendWr::write(1, self.out_stage.slice(0, HDR + request.len()), dst),
-            SendWr::send_inline(2, Vec::new()),
+            SendWr::send_inline(2, &[]),
         ])?;
         // Response arrives on the eager ring.
         let Some(comp) = poll_recv(&self.ep, self.cfg.poll, self.cfg.op_timeout_ns)? else {

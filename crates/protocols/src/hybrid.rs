@@ -136,11 +136,10 @@ impl HybridEagerRndv {
                 .signaled()])?;
                 self.ep.send_cq().poll_timeout(self.cfg.poll, self.cfg.op_timeout_ns)?.ok()?;
                 // Release the peer's staging buffer.
-                self.ep.post_send(&[SendWr::send_inline(2, {
-                    let mut fin = vec![TAG_FIN];
-                    fin.extend_from_slice(&(len as u64).to_le_bytes());
-                    fin
-                })])?;
+                let mut fin = [0u8; 9];
+                fin[0] = TAG_FIN;
+                fin[1..9].copy_from_slice(&(len as u64).to_le_bytes());
+                self.ep.post_send(&[SendWr::send_inline(2, &fin)])?;
                 Ok(Some(self.landing.read_vec(0, len)?))
             }
             other => Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(

@@ -20,12 +20,18 @@
 //! The HatRPC engine (`hatrpc-core`) selects among these per service or
 //! function based on user hints; benchmarks compare them head-to-head to
 //! regenerate the paper's Figures 4 and 5.
+//!
+//! Four protocols additionally offer a **pipelined** channel
+//! ([`pipeline::PipelinedClient`]): a sliding window of in-flight
+//! requests with doorbell-batched posting and pooled zero-alloc response
+//! delivery — see the [`pipeline`] module docs.
 
 pub mod common;
 pub mod direct_write;
 pub mod eager;
 pub mod herd;
 pub mod hybrid;
+pub mod pipeline;
 pub mod read_based;
 pub mod rndv;
 
@@ -37,5 +43,9 @@ pub use direct_write::{ChainedWriteSend, DirectWriteImm, DirectWriteSend};
 pub use eager::EagerSendRecv;
 pub use herd::Herd;
 pub use hybrid::HybridEagerRndv;
+pub use pipeline::{
+    accept_server_pipelined, connect_client_pipelined, PipelinedAsSync, PipelinedClient, Token,
+    PIPELINED_KINDS,
+};
 pub use read_based::{Farm, Pilaf, Rfp};
 pub use rndv::{ReadRndv, WriteRndv};

@@ -128,7 +128,7 @@ impl WriteRndv {
         r.pool.write(0, data)?;
         r.ep.post_send(&[
             SendWr::write(1, r.pool.slice(0, data.len()), dst.sub(0, data.len() as u64)),
-            SendWr::send_inline(2, ctrl_msg(tag::FIN, data.len(), None)),
+            SendWr::send_inline(2, &ctrl_msg(tag::FIN, data.len(), None)),
         ])?;
         Ok(())
     }

@@ -352,7 +352,7 @@ mod tests {
         // Endpoints are actually wired.
         let smr = sep.pd().register(32).unwrap();
         sep.post_recv(RecvWr::new(1, smr.clone(), 0, 32)).unwrap();
-        cep.post_send(&[SendWr::send_inline(2, b"hi".to_vec())]).unwrap();
+        cep.post_send(&[SendWr::send_inline(2, b"hi")]).unwrap();
         let c = sep.recv_cq().poll_one(PollMode::Busy).unwrap();
         assert_eq!(c.byte_len, 2);
     }
@@ -429,7 +429,7 @@ mod tests {
         assert!(!ea.is_alive());
         assert_eq!(ea.fault_down(), Some("b"));
         assert!(matches!(
-            ea.post_send(&[SendWr::send_inline(2, b"hi".to_vec())]),
+            ea.post_send(&[SendWr::send_inline(2, b"hi")]),
             Err(RdmaError::QpError(_))
         ));
         assert_eq!(b.stats_snapshot().qp_errors, 1);

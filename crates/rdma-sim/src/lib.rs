@@ -87,6 +87,7 @@ pub mod ipoib;
 pub mod memory;
 pub mod node;
 pub mod numa;
+pub mod pool;
 pub mod qp;
 pub mod stats;
 pub mod time;
@@ -100,6 +101,7 @@ pub use fault::{DelayDistribution, FaultAction, FaultPlan, FaultRule, FaultScope
 pub use memory::{MemoryRegion, MrSlice, ProtectionDomain, RemoteBuf};
 pub use node::Node;
 pub use numa::{CoreBinding, NumaTopology};
+pub use pool::PoolBuf;
 pub use qp::{Endpoint, QpConfig};
 pub use stats::{FabricStats, NodeStats};
 pub use time::now_ns;

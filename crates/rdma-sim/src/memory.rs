@@ -143,9 +143,10 @@ impl MemoryRegion {
         Ok(())
     }
 
-    /// Internal read that does *not* drain (used by the simulated NIC when
-    /// serving in-bound RDMA READ).
-    pub(crate) fn read_raw(&self, offset: usize, len: usize) -> Result<Vec<u8>> {
+    /// Internal read that does *not* drain, into a pooled buffer — the
+    /// allocation-free payload-snapshot path used by `post_send` and the
+    /// simulated NIC when serving in-bound RDMA READ.
+    pub(crate) fn read_pool_raw(&self, offset: usize, len: usize) -> Result<crate::pool::PoolBuf> {
         let buf = self.inner.buf.read();
         let end = offset.checked_add(len).ok_or(RdmaError::OutOfBounds {
             offset,
@@ -155,7 +156,7 @@ impl MemoryRegion {
         if end > buf.len() {
             return Err(RdmaError::OutOfBounds { offset, len, capacity: buf.len() });
         }
-        Ok(buf[offset..end].to_vec())
+        Ok(crate::pool::PoolBuf::copy_from(&buf[offset..end]))
     }
 
     /// Atomically read-modify-write an 8-byte word at `offset` under the

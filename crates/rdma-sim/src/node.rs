@@ -21,6 +21,7 @@ use crate::cq::{Completion, CompletionStatus, CqInner};
 use crate::fault::NodeFaults;
 use crate::memory::MrInner;
 use crate::numa::{numa_penalty, NumaTopology};
+use crate::pool::PoolBuf;
 use crate::qp::EndpointInner;
 use crate::stats::{NodeStats, NodeStatsSnapshot};
 use crate::time::{now_ns, spin_for};
@@ -91,14 +92,14 @@ impl Ord for PendingEffect {
 /// What a pending effect does when its deadline passes.
 pub(crate) enum EffectKind {
     /// An RDMA WRITE payload becoming visible in a registered region.
-    MemWrite { mr: Weak<MrInner>, offset: usize, data: Vec<u8> },
+    MemWrite { mr: Weak<MrInner>, offset: usize, data: PoolBuf },
     /// A SEND (or the completion half of WRITE_WITH_IMM) arriving at an
     /// endpoint: consumes a posted receive and completes on the recv CQ.
     /// `data` is written into the receive buffer for plain SENDs and is
     /// empty for WRITE_WITH_IMM (whose payload was a separate `MemWrite`).
     RecvDeliver {
         ep: Weak<EndpointInner>,
-        data: Vec<u8>,
+        data: PoolBuf,
         imm: Option<u32>,
         byte_len: usize,
         opcode: Opcode,
@@ -458,17 +459,17 @@ impl Node {
                 let data = match target_mr.upgrade() {
                     Some(mr) => {
                         let region = crate::memory::MemoryRegion { inner: mr };
-                        match region.read_raw(target_offset, len) {
+                        match region.read_pool_raw(target_offset, len) {
                             Ok(d) => d,
                             Err(_) => {
                                 status = CompletionStatus::RemoteAccessError;
-                                Vec::new()
+                                PoolBuf::empty()
                             }
                         }
                     }
                     None => {
                         status = CompletionStatus::RemoteAccessError;
-                        Vec::new()
+                        PoolBuf::empty()
                     }
                 };
                 if status == CompletionStatus::Success {
@@ -560,11 +561,19 @@ mod tests {
         // Later effect overwrites the earlier one; push out of order.
         n.push_effect(
             t + 2,
-            EffectKind::MemWrite { mr: Arc::downgrade(&mr.inner), offset: 0, data: vec![2] },
+            EffectKind::MemWrite {
+                mr: Arc::downgrade(&mr.inner),
+                offset: 0,
+                data: PoolBuf::copy_from(&[2]),
+            },
         );
         n.push_effect(
             t + 1,
-            EffectKind::MemWrite { mr: Arc::downgrade(&mr.inner), offset: 0, data: vec![1] },
+            EffectKind::MemWrite {
+                mr: Arc::downgrade(&mr.inner),
+                offset: 0,
+                data: PoolBuf::copy_from(&[1]),
+            },
         );
         crate::time::spin_until(t + 3);
         n.drain_effects();
@@ -580,7 +589,11 @@ mod tests {
         let mr = pd.register(1).unwrap();
         n.push_effect(
             now_ns() + 50_000_000, // 50 ms out
-            EffectKind::MemWrite { mr: Arc::downgrade(&mr.inner), offset: 0, data: vec![9] },
+            EffectKind::MemWrite {
+                mr: Arc::downgrade(&mr.inner),
+                offset: 0,
+                data: PoolBuf::copy_from(&[9]),
+            },
         );
         n.drain_effects();
         let mut b = [0u8; 1];
@@ -606,7 +619,7 @@ mod tests {
                 EffectKind::MemWrite {
                     mr: Arc::downgrade(&mr.inner),
                     offset: 0,
-                    data: vec![i as u8],
+                    data: PoolBuf::copy_from(&[i as u8]),
                 },
             );
         }
@@ -618,7 +631,11 @@ mod tests {
         // past-deadline effect and draining twice.
         n.push_effect(
             now_ns().saturating_sub(1),
-            EffectKind::MemWrite { mr: Arc::downgrade(&mr.inner), offset: 0, data: vec![200] },
+            EffectKind::MemWrite {
+                mr: Arc::downgrade(&mr.inner),
+                offset: 0,
+                data: PoolBuf::copy_from(&[200]),
+            },
         );
         n.drain_effects();
         let mut b = [0u8; 1];

@@ -1,0 +1,248 @@
+//! A global, size-classed pool of reusable byte buffers.
+//!
+//! The simulator snapshots every SEND/WRITE payload at post time and
+//! carries it inside a pending effect until the wire deadline passes; the
+//! receive path then copies it into the landing region. With plain `Vec`s
+//! that is one heap allocation per message in the *client's* hot path —
+//! enough to dominate a pipelined eager loop whose whole point is to cost
+//! nothing but a doorbell. [`PoolBuf`] replaces those `Vec`s: buffers are
+//! drawn from per-size-class free lists and returned on drop, so a warmed
+//! steady-state workload performs zero allocations per message even when
+//! buffers are released on a different thread (the server) than they were
+//! acquired on (the client) — the free lists are process-global, so the
+//! flow balances.
+//!
+//! Classes are powers of two from 64 B to 4 MiB; larger requests fall back
+//! to one-shot heap allocation (far above `max_msg` in practice). Each
+//! class retains a bounded number of free buffers so a burst cannot pin
+//! memory forever.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// Smallest size class: 64 B.
+const MIN_CLASS_SHIFT: u32 = 6;
+/// Largest size class: 4 MiB.
+const MAX_CLASS_SHIFT: u32 = 22;
+const NUM_CLASSES: usize = (MAX_CLASS_SHIFT - MIN_CLASS_SHIFT + 1) as usize;
+/// Free buffers retained per class; beyond this, drops free normally.
+const MAX_RETAINED_PER_CLASS: usize = 4096;
+
+static BUCKETS: [Mutex<Vec<Box<[u8]>>>; NUM_CLASSES] =
+    [const { Mutex::new(Vec::new()) }; NUM_CLASSES];
+
+/// The size class covering `len`, or `None` when `len` exceeds the largest
+/// class (such buffers are not pooled).
+fn class_for(len: usize) -> Option<usize> {
+    let cap = len.next_power_of_two().max(1 << MIN_CLASS_SHIFT);
+    if cap > 1 << MAX_CLASS_SHIFT {
+        None
+    } else {
+        Some((cap.trailing_zeros() - MIN_CLASS_SHIFT) as usize)
+    }
+}
+
+fn lock_bucket(class: usize) -> std::sync::MutexGuard<'static, Vec<Box<[u8]>>> {
+    BUCKETS[class].lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A length-`len` view over a pooled buffer. Dereferences to `[u8]`;
+/// returns its storage to the global pool on drop.
+pub struct PoolBuf {
+    /// `None` only for the empty buffer (and transiently during drop).
+    buf: Option<Box<[u8]>>,
+    len: usize,
+    /// Size class to return the storage to; `None` → oversized, not pooled.
+    class: Option<usize>,
+}
+
+impl PoolBuf {
+    /// The empty buffer (no backing storage at all).
+    pub fn empty() -> PoolBuf {
+        PoolBuf { buf: None, len: 0, class: None }
+    }
+
+    /// Acquire a buffer of `len` bytes with *unspecified contents* (stale
+    /// data from a previous user of the pooled storage). Use when every
+    /// byte will be overwritten before being read.
+    pub fn for_overwrite(len: usize) -> PoolBuf {
+        if len == 0 {
+            return PoolBuf::empty();
+        }
+        match class_for(len) {
+            Some(class) => {
+                let buf = lock_bucket(class).pop().unwrap_or_else(|| {
+                    vec![0u8; 1usize << (class as u32 + MIN_CLASS_SHIFT)].into_boxed_slice()
+                });
+                PoolBuf { buf: Some(buf), len, class: Some(class) }
+            }
+            None => PoolBuf { buf: Some(vec![0u8; len].into_boxed_slice()), len, class: None },
+        }
+    }
+
+    /// Acquire a zero-filled buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> PoolBuf {
+        let mut b = PoolBuf::for_overwrite(len);
+        b.as_mut_slice().fill(0);
+        b
+    }
+
+    /// Acquire a buffer holding a copy of `data`.
+    pub fn copy_from(data: &[u8]) -> PoolBuf {
+        let mut b = PoolBuf::for_overwrite(data.len());
+        b.as_mut_slice().copy_from_slice(data);
+        b
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.buf {
+            Some(b) => &b[..self.len],
+            None => &[],
+        }
+    }
+
+    /// The bytes, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        match &mut self.buf {
+            Some(b) => &mut b[..self.len],
+            None => &mut [],
+        }
+    }
+
+    /// Shrink the view to `len` bytes (the storage keeps its class).
+    /// Panics if `len` exceeds the current length.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.len, "PoolBuf::truncate beyond length");
+        self.len = len;
+    }
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        if let (Some(buf), Some(class)) = (self.buf.take(), self.class) {
+            let mut bucket = lock_bucket(class);
+            if bucket.len() < MAX_RETAINED_PER_CLASS {
+                bucket.push(buf);
+            }
+        }
+    }
+}
+
+impl Deref for PoolBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for PoolBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl Clone for PoolBuf {
+    fn clone(&self) -> PoolBuf {
+        PoolBuf::copy_from(self.as_slice())
+    }
+}
+
+impl std::fmt::Debug for PoolBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolBuf").field("len", &self.len).finish()
+    }
+}
+
+impl AsRef<[u8]> for PoolBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for PoolBuf {
+    fn from(data: &[u8]) -> PoolBuf {
+        PoolBuf::copy_from(data)
+    }
+}
+
+impl PartialEq<[u8]> for PoolBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_cover_expected_range() {
+        assert_eq!(class_for(0), Some(0));
+        assert_eq!(class_for(1), Some(0));
+        assert_eq!(class_for(64), Some(0));
+        assert_eq!(class_for(65), Some(1));
+        assert_eq!(class_for(4096), Some(6));
+        assert_eq!(class_for(1 << 22), Some(16));
+        assert_eq!(class_for((1 << 22) + 1), None);
+    }
+
+    #[test]
+    fn copy_roundtrip_and_truncate() {
+        let mut b = PoolBuf::copy_from(b"hello pool");
+        assert_eq!(&b[..], b"hello pool");
+        assert_eq!(b.len(), 10);
+        b.truncate(5);
+        assert_eq!(&b[..], b"hello");
+        let c = b.clone();
+        assert_eq!(&c[..], b"hello");
+    }
+
+    #[test]
+    fn empty_buffer_has_no_storage() {
+        let b = PoolBuf::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.as_slice(), &[] as &[u8]);
+        let z = PoolBuf::copy_from(&[]);
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn zeroed_is_zero_even_after_reuse() {
+        // Dirty a pooled buffer, release it, re-acquire zeroed.
+        {
+            let mut b = PoolBuf::for_overwrite(100);
+            b.as_mut_slice().fill(0xAB);
+        }
+        let z = PoolBuf::zeroed(100);
+        assert!(z.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn storage_is_reused_across_acquire_release() {
+        // Use a 2 MiB-class buffer: no other test in this binary touches
+        // that class, so the LIFO free list is deterministic here.
+        let ptr = {
+            let b = PoolBuf::for_overwrite((1 << 21) - 7);
+            b.as_slice().as_ptr() as usize
+        };
+        let b2 = PoolBuf::for_overwrite((1 << 20) + 1);
+        assert_eq!(b2.as_slice().as_ptr() as usize, ptr);
+    }
+
+    #[test]
+    fn oversized_buffers_work_unpooled() {
+        let b = PoolBuf::zeroed((1 << 22) + 5);
+        assert_eq!(b.len(), (1 << 22) + 5);
+    }
+}

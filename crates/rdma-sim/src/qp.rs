@@ -19,9 +19,10 @@ use crate::error::{RdmaError, Result};
 use crate::fabric::NodeRegistry;
 use crate::memory::{MemoryRegion, ProtectionDomain, RemoteBuf};
 use crate::node::{EffectKind, Node};
+use crate::pool::PoolBuf;
 use crate::stats::NodeStats;
 use crate::time::now_ns;
-use crate::wr::{Opcode, RecvWr, SendOp, SendPayload, SendWr};
+use crate::wr::{Opcode, RecvWr, SendOp, SendPayload, SendWr, INLINE_CAP};
 
 /// Static queue-pair parameters, mirroring `ibv_qp_init_attr` fields the
 /// protocols care about.
@@ -66,7 +67,7 @@ pub(crate) struct EndpointInner {
 
 /// A delivered-but-unreceived message (see `rnr_backlog`).
 pub(crate) struct ArrivedMsg {
-    pub data: Vec<u8>,
+    pub data: PoolBuf,
     pub imm: Option<u32>,
     pub byte_len: usize,
     pub opcode: Opcode,
@@ -344,22 +345,22 @@ impl Endpoint {
         let cost = &node.config().cost;
 
         // ---- validate the whole chain up front -------------------------
-        let mut resolved: Vec<ResolvedWr> = Vec::with_capacity(chain.len());
+        // Two passes over the chain (validate, then launch) instead of
+        // collecting resolved views into a Vec: resolution is a couple of
+        // registry lookups, and the hot pipelined path must not allocate
+        // per post.
+        let max_inline = self.inner.config.max_inline.min(INLINE_CAP);
         let mut cpu_ns = cost.doorbell_ns + cost.post_wr_ns * chain.len() as u64;
         let mut memcpys = 0u64;
         for wr in chain {
             let r = self.resolve(wr)?;
             if let Some(inline_len) = r.inline_len {
-                if inline_len > self.inner.config.max_inline {
-                    return Err(RdmaError::InlineTooLarge {
-                        len: inline_len,
-                        max: self.inner.config.max_inline,
-                    });
+                if inline_len > max_inline {
+                    return Err(RdmaError::InlineTooLarge { len: inline_len, max: max_inline });
                 }
                 cpu_ns += cost.memcpy_ns(inline_len);
                 memcpys += 1;
             }
-            resolved.push(r);
         }
 
         // ---- fault injection: count WRs, maybe flush or kill ------------
@@ -393,7 +394,8 @@ impl Endpoint {
         NodeStats::add(&node.stats().memcpys, memcpys);
 
         // ---- schedule wire activity -------------------------------------
-        for (wr, r) in chain.iter().zip(resolved) {
+        for wr in chain {
+            let r = self.resolve(wr)?;
             self.launch(wr, r, cost)?;
         }
         Ok(())
@@ -543,12 +545,14 @@ impl Endpoint {
         // Snapshot payload bytes at post time (the NIC DMAs from the source
         // buffer once the WR reaches the head of the send queue; protocols
         // must not reuse the buffer before the send completion anyway).
+        // Snapshots live in pooled buffers: steady-state traffic recycles
+        // them instead of allocating per message.
         let data = match &wr.op {
             SendOp::Send { payload }
             | SendOp::Write { payload, .. }
             | SendOp::WriteImm { payload, .. } => match payload {
-                SendPayload::Mr(s) => s.mr.read_raw(s.offset, s.len)?,
-                SendPayload::Inline(d) => d.clone(),
+                SendPayload::Mr(s) => s.mr.read_pool_raw(s.offset, s.len)?,
+                SendPayload::Inline(d) => PoolBuf::copy_from(d.as_slice()),
             },
             SendOp::Read { .. } | SendOp::CompSwap { .. } | SendOp::FetchAdd { .. } => {
                 unreachable!("handled above")
@@ -601,7 +605,7 @@ impl Endpoint {
                         deadline,
                         EffectKind::RecvDeliver {
                             ep: Arc::downgrade(&peer.inner),
-                            data: Vec::new(),
+                            data: PoolBuf::empty(),
                             imm: Some(*imm),
                             byte_len: bytes,
                             opcode: Opcode::WriteImm,
@@ -706,12 +710,12 @@ mod tests {
         let (_f, c, s) = pair();
         let smr = s.pd().register(512).unwrap();
         s.post_recv(RecvWr::new(0, smr.clone(), 0, 512)).unwrap();
-        c.post_send(&[SendWr::send_inline(1, b"tiny".to_vec())]).unwrap();
+        c.post_send(&[SendWr::send_inline(1, b"tiny")]).unwrap();
         s.recv_cq().poll_one(PollMode::Busy).unwrap();
         assert_eq!(smr.read_vec(0, 4).unwrap(), b"tiny");
 
         let big = vec![0u8; 4096];
-        let err = c.post_send(&[SendWr::send_inline(2, big)]).unwrap_err();
+        let err = c.post_send(&[SendWr::send_inline(2, &big)]).unwrap_err();
         assert!(matches!(err, RdmaError::InlineTooLarge { .. }));
     }
 
@@ -720,7 +724,7 @@ mod tests {
         let (_f, c, s) = pair();
         let smr = s.pd().register(64).unwrap();
         let rb = smr.remote_buf(0, 64);
-        c.post_send(&[SendWr::write_inline(1, b"dma!".to_vec(), rb).signaled()]).unwrap();
+        c.post_send(&[SendWr::write_inline(1, b"dma!", rb).signaled()]).unwrap();
         c.send_cq().poll_one(PollMode::Busy).unwrap();
         // No recv CQ activity at the server.
         assert!(s.recv_cq().try_poll().is_none());
@@ -741,7 +745,7 @@ mod tests {
         let scratch = s.pd().register(1).unwrap();
         s.post_recv(RecvWr::new(9, scratch, 0, 0)).unwrap();
         let rb = smr.remote_buf(0, 64);
-        c.post_send(&[SendWr::write_imm_inline(1, b"imm".to_vec(), rb, 0xfeed)]).unwrap();
+        c.post_send(&[SendWr::write_imm_inline(1, b"imm", rb, 0xfeed)]).unwrap();
         let rc = s.recv_cq().poll_one(PollMode::Busy).unwrap();
         assert_eq!(rc.imm, Some(0xfeed));
         assert_eq!(rc.opcode, Opcode::WriteImm);
@@ -830,13 +834,13 @@ mod tests {
         let rb = smr.remote_buf(0, 64);
         let before = c.node().stats_snapshot().doorbells;
         c.post_send(&[
-            SendWr::write_inline(1, b"one".to_vec(), rb),
-            SendWr::write_inline(2, b"two".to_vec(), rb.sub(8, 8)),
+            SendWr::write_inline(1, b"one", rb),
+            SendWr::write_inline(2, b"two", rb.sub(8, 8)),
         ])
         .unwrap();
         assert_eq!(c.node().stats_snapshot().doorbells, before + 1);
-        c.post_send(&[SendWr::write_inline(3, b"x".to_vec(), rb)]).unwrap();
-        c.post_send(&[SendWr::write_inline(4, b"y".to_vec(), rb)]).unwrap();
+        c.post_send(&[SendWr::write_inline(3, b"x", rb)]).unwrap();
+        c.post_send(&[SendWr::write_inline(4, b"y", rb)]).unwrap();
         assert_eq!(c.node().stats_snapshot().doorbells, before + 3);
     }
 
@@ -869,7 +873,7 @@ mod tests {
     fn closed_endpoint_rejects_posts() {
         let (_f, c, s) = pair();
         s.close();
-        let err = c.post_send(&[SendWr::send_inline(1, b"x".to_vec())]).unwrap_err();
+        let err = c.post_send(&[SendWr::send_inline(1, b"x")]).unwrap_err();
         assert_eq!(err, RdmaError::Disconnected);
         assert!(!c.is_alive());
     }
@@ -888,13 +892,13 @@ mod tests {
         }
 
         // First two WRs go through, the third flushes the QP to error.
-        ea.post_send(&[SendWr::send_inline(1, b"one".to_vec())]).unwrap();
-        ea.post_send(&[SendWr::send_inline(2, b"two".to_vec())]).unwrap();
-        let err = ea.post_send(&[SendWr::send_inline(3, b"three".to_vec())]).unwrap_err();
+        ea.post_send(&[SendWr::send_inline(1, b"one")]).unwrap();
+        ea.post_send(&[SendWr::send_inline(2, b"two")]).unwrap();
+        let err = ea.post_send(&[SendWr::send_inline(3, b"three")]).unwrap_err();
         assert!(matches!(err, RdmaError::QpError(_)), "got {err:?}");
         // The error state is sticky.
         assert!(matches!(
-            ea.post_send(&[SendWr::send_inline(4, b"four".to_vec())]),
+            ea.post_send(&[SendWr::send_inline(4, b"four")]),
             Err(RdmaError::QpError(_))
         ));
         assert_eq!(a.stats_snapshot().qp_errors, 1);
@@ -913,14 +917,14 @@ mod tests {
         let smr = eb.pd().register(64).unwrap();
         eb.post_recv(RecvWr::new(0, smr, 0, 64)).unwrap();
 
-        ea.post_send(&[SendWr::send_inline(1, b"ok".to_vec())]).unwrap();
-        let err = ea.post_send(&[SendWr::send_inline(2, b"boom".to_vec())]).unwrap_err();
+        ea.post_send(&[SendWr::send_inline(1, b"ok")]).unwrap();
+        let err = ea.post_send(&[SendWr::send_inline(2, b"boom")]).unwrap_err();
         assert!(matches!(err, RdmaError::QpError(_)), "got {err:?}");
         assert!(!a.is_alive());
         // The surviving side sees the peer node as down.
         assert_eq!(eb.fault_down(), Some("a"));
         assert!(matches!(
-            eb.post_send(&[SendWr::send_inline(3, b"x".to_vec())]),
+            eb.post_send(&[SendWr::send_inline(3, b"x")]),
             Err(RdmaError::QpError(_))
         ));
     }

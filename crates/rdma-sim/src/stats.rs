@@ -55,6 +55,15 @@ pub struct NodeStats {
     pub calls_timed_out: AtomicU64,
     /// Engine-level calls that ultimately failed for any other reason.
     pub calls_failed: AtomicU64,
+    /// Calls completed through a pipelined (sliding-window) channel.
+    pub pipelined_calls: AtomicU64,
+    /// Doorbells rung by pipelined batch flushes (a subset of
+    /// `doorbells`); `pipeline_doorbells / pipelined_calls` is the
+    /// doorbells-per-call figure of merit for batched posting.
+    pub pipeline_doorbells: AtomicU64,
+    /// High-water mark of requests simultaneously in flight on any
+    /// pipelined channel of this node.
+    pub inflight_hwm: AtomicU64,
 }
 
 impl NodeStats {
@@ -81,6 +90,12 @@ impl NodeStats {
         self.registered_bytes.fetch_sub(bytes, Ordering::Relaxed);
     }
 
+    /// Record `n` requests currently in flight on a pipelined channel,
+    /// keeping the high-water mark.
+    pub fn note_inflight(&self, n: u64) {
+        self.inflight_hwm.fetch_max(n, Ordering::Relaxed);
+    }
+
     /// Snapshot all counters into a plain struct (for printing/asserting).
     pub fn snapshot(&self) -> NodeStatsSnapshot {
         NodeStatsSnapshot {
@@ -105,6 +120,9 @@ impl NodeStats {
             calls_retried: Self::get(&self.calls_retried),
             calls_timed_out: Self::get(&self.calls_timed_out),
             calls_failed: Self::get(&self.calls_failed),
+            pipelined_calls: Self::get(&self.pipelined_calls),
+            pipeline_doorbells: Self::get(&self.pipeline_doorbells),
+            inflight_hwm: Self::get(&self.inflight_hwm),
         }
     }
 }
@@ -133,6 +151,9 @@ pub struct NodeStatsSnapshot {
     pub calls_retried: u64,
     pub calls_timed_out: u64,
     pub calls_failed: u64,
+    pub pipelined_calls: u64,
+    pub pipeline_doorbells: u64,
+    pub inflight_hwm: u64,
 }
 
 /// Fabric-wide aggregate statistics.
@@ -176,6 +197,15 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.registered_bytes, 40);
         assert_eq!(snap.registered_bytes_peak, 150);
+    }
+
+    #[test]
+    fn inflight_high_water_mark() {
+        let s = NodeStats::default();
+        s.note_inflight(3);
+        s.note_inflight(8);
+        s.note_inflight(5);
+        assert_eq!(s.snapshot().inflight_hwm, 8);
     }
 
     #[test]

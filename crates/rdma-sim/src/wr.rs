@@ -22,7 +22,61 @@ pub enum Opcode {
     FetchAdd,
 }
 
+/// Hard capacity of a work-queue entry's inline segment. Effective inline
+/// limits ([`crate::qp::QpConfig::max_inline`]) are clamped to this; real
+/// NICs have the same shape (inline data lives inside the fixed-size WQE).
+pub const INLINE_CAP: usize = 256;
+
+/// Inline payload bytes stored directly inside the work request — no heap
+/// allocation, mirroring how real WQEs embed inline data. Oversized
+/// payloads record their true length (and are rejected at post time with
+/// [`crate::RdmaError::InlineTooLarge`]) but only retain the first
+/// [`INLINE_CAP`] bytes.
+#[derive(Clone, Copy)]
+pub struct InlineData {
+    len: u32,
+    bytes: [u8; INLINE_CAP],
+}
+
+impl InlineData {
+    /// Capture `data` into an inline segment.
+    pub fn new(data: &[u8]) -> InlineData {
+        let mut bytes = [0u8; INLINE_CAP];
+        let kept = data.len().min(INLINE_CAP);
+        bytes[..kept].copy_from_slice(&data[..kept]);
+        InlineData { len: data.len() as u32, bytes }
+    }
+
+    /// The payload length the caller asked for (may exceed [`INLINE_CAP`],
+    /// in which case posting fails).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The retained bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..(self.len as usize).min(INLINE_CAP)]
+    }
+}
+
+impl std::fmt::Debug for InlineData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InlineData").field("len", &self.len).finish()
+    }
+}
+
 /// Payload source for a send-side work request.
+///
+/// The variants differ in size by design: inline data is embedded in the
+/// work request by value, exactly as a WQE embeds it, so posting an
+/// inline send performs no heap allocation (boxing the array would put
+/// the allocation back — the very cost inline sends exist to avoid).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum SendPayload {
     /// Zero-copy from a registered region.
@@ -30,7 +84,7 @@ pub enum SendPayload {
     /// Inline data copied into the WQE at post time (small payloads only;
     /// bounded by [`crate::qp::QpConfig::max_inline`]). Saves the lkey
     /// lookup/DMA at the cost of a host memcpy.
-    Inline(Vec<u8>),
+    Inline(InlineData),
 }
 
 impl SendPayload {
@@ -115,11 +169,11 @@ impl SendWr {
         SendWr { wr_id, op: SendOp::Send { payload: SendPayload::Mr(slice) }, signaled: false }
     }
 
-    /// Two-sided SEND of inline data.
-    pub fn send_inline(wr_id: u64, data: impl Into<Vec<u8>>) -> SendWr {
+    /// Two-sided SEND of inline data (copied into the WQE; no allocation).
+    pub fn send_inline(wr_id: u64, data: &[u8]) -> SendWr {
         SendWr {
             wr_id,
-            op: SendOp::Send { payload: SendPayload::Inline(data.into()) },
+            op: SendOp::Send { payload: SendPayload::Inline(InlineData::new(data)) },
             signaled: false,
         }
     }
@@ -133,11 +187,11 @@ impl SendWr {
         }
     }
 
-    /// One-sided WRITE of inline data.
-    pub fn write_inline(wr_id: u64, data: impl Into<Vec<u8>>, remote: RemoteBuf) -> SendWr {
+    /// One-sided WRITE of inline data (copied into the WQE; no allocation).
+    pub fn write_inline(wr_id: u64, data: &[u8], remote: RemoteBuf) -> SendWr {
         SendWr {
             wr_id,
-            op: SendOp::Write { payload: SendPayload::Inline(data.into()), remote },
+            op: SendOp::Write { payload: SendPayload::Inline(InlineData::new(data)), remote },
             signaled: false,
         }
     }
@@ -151,16 +205,15 @@ impl SendWr {
         }
     }
 
-    /// WRITE_WITH_IMM of inline data.
-    pub fn write_imm_inline(
-        wr_id: u64,
-        data: impl Into<Vec<u8>>,
-        remote: RemoteBuf,
-        imm: u32,
-    ) -> SendWr {
+    /// WRITE_WITH_IMM of inline data (copied into the WQE; no allocation).
+    pub fn write_imm_inline(wr_id: u64, data: &[u8], remote: RemoteBuf, imm: u32) -> SendWr {
         SendWr {
             wr_id,
-            op: SendOp::WriteImm { payload: SendPayload::Inline(data.into()), remote, imm },
+            op: SendOp::WriteImm {
+                payload: SendPayload::Inline(InlineData::new(data)),
+                remote,
+                imm,
+            },
             signaled: false,
         }
     }
@@ -236,7 +289,7 @@ mod tests {
         assert!(!s.signaled);
         assert!(s.signaled().signaled);
 
-        let w = SendWr::write_inline(2, vec![0u8; 16], rb);
+        let w = SendWr::write_inline(2, &[0u8; 16], rb);
         assert_eq!(w.op.opcode(), Opcode::Write);
         assert_eq!(w.op.wire_bytes(), 16);
 
@@ -250,10 +303,19 @@ mod tests {
 
     #[test]
     fn payload_len_and_inline_flag() {
-        let p = SendPayload::Inline(vec![1, 2, 3]);
+        let p = SendPayload::Inline(InlineData::new(&[1, 2, 3]));
         assert_eq!(p.len(), 3);
         assert!(p.is_inline());
         assert!(!p.is_empty());
-        assert!(SendPayload::Inline(vec![]).is_empty());
+        assert!(SendPayload::Inline(InlineData::new(&[])).is_empty());
+    }
+
+    #[test]
+    fn oversized_inline_keeps_true_length() {
+        let big = vec![7u8; INLINE_CAP + 100];
+        let d = InlineData::new(&big);
+        assert_eq!(d.len(), INLINE_CAP + 100);
+        assert_eq!(d.as_slice().len(), INLINE_CAP);
+        assert!(d.as_slice().iter().all(|&b| b == 7));
     }
 }

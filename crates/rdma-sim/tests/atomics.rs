@@ -150,13 +150,10 @@ fn cas_lock_provides_mutual_exclusion() {
                     .unwrap();
                 ep.send_cq().poll_one(PollMode::Busy).unwrap();
                 let v = u64::from_le_bytes(landing.read_vec(8, 8).unwrap().try_into().unwrap());
-                ep.post_send(&[SendWr::write_inline(
-                    3,
-                    (v + 1).to_le_bytes().to_vec(),
-                    guarded_rb,
-                )
-                .signaled()])
-                    .unwrap();
+                ep.post_send(&[
+                    SendWr::write_inline(3, &(v + 1).to_le_bytes(), guarded_rb).signaled()
+                ])
+                .unwrap();
                 ep.send_cq().poll_one(PollMode::Busy).unwrap();
                 // Release: CAS 1 -> 0.
                 ep.post_send(

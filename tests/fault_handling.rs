@@ -156,7 +156,7 @@ fn oversized_inline_and_bad_rkey_are_rejected_at_post_time() {
     let b = fabric.add_node("b");
     let (ea, _eb) = fabric.connect(&a, &b).unwrap();
     // Oversized inline data.
-    let err = ea.post_send(&[SendWr::send_inline(1, vec![0u8; 100_000])]).unwrap_err();
+    let err = ea.post_send(&[SendWr::send_inline(1, &[0u8; 100_000])]).unwrap_err();
     assert!(matches!(err, RdmaError::InlineTooLarge { .. }));
     // Bogus remote key.
     let mr = ea.pd().register(64).unwrap();
@@ -390,6 +390,63 @@ fn qp_flush_mid_stream_is_survivable_with_retries() {
     assert_eq!(stats.calls_ok, 12, "every call eventually succeeds");
     assert!(stats.calls_retried >= 1, "the flush must have forced a retry: {stats:?}");
     assert!(stats.qp_errors >= 1, "the flush must be visible in qp_errors: {stats:?}");
+    drop(client);
+    server.shutdown();
+}
+
+/// Satellite acceptance for the pipelined path: a seeded QP flush landing
+/// MID-WINDOW (several requests in flight, none yet completed) must not
+/// lose or duplicate any request — `call_many` drains what it can, drops
+/// the poisoned channel, reconnects, and re-issues exactly the requests
+/// that never banked a response.
+#[test]
+fn qp_flush_mid_window_preserves_exactly_once_pipelined_completion() {
+    let idl = r#"
+        service Piped {
+            binary piped(1: binary p) [ hint: perf_goal = latency, payload_size = 512, queue_depth = 8; ]
+        }
+    "#;
+    let schema = ServiceSchema::parse(idl, "Piped").unwrap();
+    // Flush each client QP after 20 send WRs: the handshake costs one, so
+    // the first connection dies with a full depth-8 window repeatedly in
+    // flight. The counter is per QP, so every reconnect buys a fresh
+    // budget and the batch grinds forward ~19 calls per connection.
+    let plan = FaultPlan::new(0xD00B).flush_qp_after(FaultScope::Node("client".into()), 20);
+    let fabric = Fabric::new(SimConfig::fast_test().with_fault_plan(plan));
+    let snode = fabric.add_node("server");
+    let server = HatServer::serve(
+        &fabric,
+        &snode,
+        "piped",
+        schema.clone(),
+        ServerPolicy::Threaded,
+        echo_factory(),
+    );
+    let cnode = fabric.add_node("client");
+    let mut client = HatClient::new(&fabric, &cnode, "piped", &schema).with_policy(CallPolicy {
+        deadline: Duration::from_secs(5),
+        retries: 6,
+        backoff: Duration::from_millis(1),
+    });
+
+    // Unique payloads so a duplicated or misrouted completion is visible.
+    let requests: Vec<Vec<u8>> = (0..40u16)
+        .map(|i| {
+            let mut p = vec![0u8; 96];
+            p[0] = (i >> 8) as u8;
+            p[1] = i as u8;
+            p[2..].iter_mut().enumerate().for_each(|(j, b)| *b = (i as usize * 31 + j) as u8);
+            p
+        })
+        .collect();
+    let responses = client.call_many("piped", &requests).unwrap();
+    assert_eq!(responses, requests, "every request completes exactly once, in order");
+
+    let stats = cnode.stats_snapshot();
+    assert!(stats.calls_retried >= 2, "40 calls through 20-WR QPs must retry: {stats:?}");
+    assert!(stats.qp_errors >= 1, "the flush must be visible in qp_errors: {stats:?}");
+    assert!(stats.pipelined_calls >= 40, "the batch rode the pipelined path: {stats:?}");
+    assert!(stats.inflight_hwm >= 8, "the window must have filled before dying: {stats:?}");
     drop(client);
     server.shutdown();
 }
