@@ -269,6 +269,7 @@ impl AtbServer {
                         };
                         let cfg = cfg.clone();
                         conns.push(std::thread::spawn(move || {
+                            let node_id = ep.node().id();
                             let built = if depth > 1 {
                                 hat_protocols::accept_server_pipelined(kind, ep, cfg)
                             } else {
@@ -277,13 +278,21 @@ impl AtbServer {
                             let mut server = match built {
                                 Ok(s) => s,
                                 Err(e) => {
-                                    eprintln!("atb: server-side protocol setup failed: {e}");
+                                    hat_trace::annotate(
+                                        node_id,
+                                        hat_rdma_sim::now_ns(),
+                                        &format!("server-side protocol setup failed: {e}"),
+                                    );
                                     return;
                                 }
                             };
                             let mut router = atb_router();
                             if let Err(e) = server.serve_loop(&mut |req| router.handle(req)) {
-                                eprintln!("atb: serve loop ended with error: {e}");
+                                hat_trace::annotate(
+                                    node_id,
+                                    hat_rdma_sim::now_ns(),
+                                    &format!("serve loop ended with error: {e}"),
+                                );
                             }
                         }));
                     }

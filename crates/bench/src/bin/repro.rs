@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro <fig4|fig5|fig11|fig12|fig13|fig14|fig15|fig16|fig17|micro|all> [--full] [--tsv]
+//! repro trace [--out FILE]    # capture a traced micro run (Chrome trace JSON)
+//! repro stats [--json]       # per-node sim counters + latency histograms
 //! ```
 //!
 //! `--full` enlarges sweeps toward the paper's axes; `--tsv` emits
@@ -11,9 +13,22 @@
 use hat_bench::{Scale, Table};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let tsv = args.iter().any(|a| a == "--tsv");
+    let json = args.iter().any(|a| a == "--json");
+    let trace_out = match args.iter().position(|a| a == "--out") {
+        Some(i) if i + 1 < args.len() => {
+            let file = args.remove(i + 1);
+            args.remove(i);
+            file
+        }
+        Some(_) => {
+            eprintln!("repro: --out needs a file argument");
+            std::process::exit(2);
+        }
+        None => "TRACE_micro.json".to_string(),
+    };
     let scale = Scale::from_flag(full);
     let which: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
@@ -54,6 +69,53 @@ fn main() {
             "fig16" => print(hat_bench::fig16_ycsb(scale)),
             "fig17" => print(hat_bench::fig17_tpch(scale)),
             "micro" => print(hat_bench::micro_section3()),
+            "trace" => {
+                let trace = hat_bench::capture_micro_trace();
+                std::fs::write(&trace_out, &trace.json).unwrap_or_else(|e| {
+                    eprintln!("repro: cannot write {trace_out}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!(
+                    "repro: wrote {} ({} events, {} histogram rows) — open in ui.perfetto.dev",
+                    trace_out,
+                    trace.events,
+                    trace.latency.len()
+                );
+            }
+            "stats" => {
+                let trace = hat_bench::capture_micro_trace();
+                if json {
+                    println!("{}", hat_bench::stats_json(&trace.fabric, &trace.latency));
+                } else {
+                    let mut table = Table::new(
+                        "Per-node simulator counters (micro workload)",
+                        &["node", "counter", "value"],
+                    );
+                    for (name, snap) in &trace.fabric.stats().nodes {
+                        for (key, value) in snap.fields() {
+                            table.row(vec![name.clone(), key.to_string(), value.to_string()]);
+                        }
+                    }
+                    print(table);
+                    let mut hists = Table::new(
+                        "Latency histograms (ns)",
+                        &["protocol", "fn", "size", "count", "p50", "p90", "p99", "max"],
+                    );
+                    for row in &trace.latency {
+                        hists.row(vec![
+                            row.protocol.to_string(),
+                            row.fn_scope.clone(),
+                            row.size_label.to_string(),
+                            row.snapshot.count.to_string(),
+                            row.snapshot.p50.to_string(),
+                            row.snapshot.p90.to_string(),
+                            row.snapshot.p99.to_string(),
+                            row.snapshot.max.to_string(),
+                        ]);
+                    }
+                    print(hists);
+                }
+            }
             "all" => {
                 print(hat_bench::fig04_protocol_latency(scale));
                 print(hat_bench::fig05_protocol_throughput(scale));
@@ -69,7 +131,7 @@ fn main() {
             other => {
                 eprintln!("repro: unknown target '{other}'");
                 eprintln!(
-                    "usage: repro <fig4|fig5|fig11|fig12|fig13|fig14|fig15|fig16|fig17|micro|all> [--full] [--tsv]"
+                    "usage: repro <fig4|fig5|fig11|fig12|fig13|fig14|fig15|fig16|fig17|micro|all> [--full] [--tsv]\n       repro trace [--out FILE]\n       repro stats [--json]"
                 );
                 std::process::exit(2);
             }

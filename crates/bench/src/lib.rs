@@ -20,6 +20,7 @@
 
 pub mod protocol_bench;
 pub mod table;
+pub mod trace_bench;
 pub mod ycsb_bench;
 
 use hat_atb::{LatencyConfig, Mode, ThroughputConfig};
@@ -29,6 +30,7 @@ use hat_tpch::{ClusterConfig, TpchCluster, TransportMode};
 
 pub use protocol_bench::{raw_latency, raw_throughput, RawLatencyPoint, RawThroughputPoint};
 pub use table::Table;
+pub use trace_bench::{capture_micro_trace, latency_json, stats_json, MicroTrace};
 pub use ycsb_bench::{run_ycsb, KvSystem, YcsbConfig, YcsbPoint};
 
 /// Sweep size preset.

@@ -25,7 +25,8 @@ use hat_protocols::{
     accept_server, accept_server_pipelined, connect_client, connect_client_pipelined,
     ProtocolConfig, ProtocolKind, RpcClient, PIPELINED_KINDS,
 };
-use hat_rdma_sim::{numa, Fabric, Node, NodeStats, PollMode, RdmaError};
+use hat_rdma_sim::{now_ns, numa, Fabric, Node, NodeStats, PollMode, RdmaError};
+use hat_trace::Phase;
 
 use crate::error::{CoreError, Result};
 use crate::selection::{select_protocol, Selection, SubscriptionBounds};
@@ -405,15 +406,57 @@ impl HatClient {
         let policy = self.policy;
         let mut backoff = policy.backoff;
         let mut attempts_left = policy.retries;
+        // One span per engine-level call: the id rides thread-local state
+        // so sim-layer events (WR post, doorbell, wire, completion) land
+        // on the same timeline row. The latency histogram covers the
+        // whole retry loop — retries and timeouts are part of the latency
+        // a caller observes, not a separate population.
+        let traced = hat_trace::enabled();
+        let label = plan.selection.protocol.label();
+        let (call_id, start_ns) = if traced {
+            let id = hat_trace::next_call_id();
+            let t = now_ns();
+            hat_trace::register_call(id, label, func, request.len() as u64);
+            hat_trace::event(Phase::CallBegin, self.node.id(), id, request.len() as u64, t);
+            (id, t)
+        } else {
+            (0, 0)
+        };
+        let _span = hat_trace::call_scope(call_id);
         loop {
             match self.call_attempt(&plan, func, request) {
                 Ok(resp) => {
                     NodeStats::add(&self.node.stats().calls_ok, 1);
+                    if traced {
+                        let end = now_ns();
+                        hat_trace::event(
+                            Phase::CallEnd,
+                            self.node.id(),
+                            call_id,
+                            resp.len() as u64,
+                            end,
+                        );
+                        hat_trace::hist::record_latency(
+                            label,
+                            func,
+                            request.len() as u64,
+                            end.saturating_sub(start_ns),
+                        );
+                    }
                     return Ok(resp);
                 }
                 Err(e) if attempts_left > 0 && is_retryable(&e) => {
                     attempts_left -= 1;
                     NodeStats::add(&self.node.stats().calls_retried, 1);
+                    if traced {
+                        hat_trace::event(
+                            Phase::Retry,
+                            self.node.id(),
+                            call_id,
+                            attempts_left as u64,
+                            now_ns(),
+                        );
+                    }
                     // The cached channel is poisoned — drop it so the next
                     // attempt reconnects and re-runs the handshake.
                     self.channels.remove(&plan.key);
@@ -423,12 +466,26 @@ impl HatClient {
                     }
                 }
                 Err(e) => {
-                    let counter = if matches!(e, CoreError::Rdma(RdmaError::Timeout)) {
+                    let timed_out = matches!(e, CoreError::Rdma(RdmaError::Timeout));
+                    let counter = if timed_out {
                         &self.node.stats().calls_timed_out
                     } else {
                         &self.node.stats().calls_failed
                     };
                     NodeStats::add(counter, 1);
+                    if traced {
+                        let end = now_ns();
+                        if timed_out {
+                            hat_trace::event(Phase::TimedOut, self.node.id(), call_id, 0, end);
+                        }
+                        hat_trace::event(Phase::CallEnd, self.node.id(), call_id, 0, end);
+                        hat_trace::hist::record_latency(
+                            label,
+                            func,
+                            request.len() as u64,
+                            end.saturating_sub(start_ns),
+                        );
+                    }
                     return Err(e);
                 }
             }
@@ -488,6 +545,17 @@ impl HatClient {
                 Err(e) if attempts_left > 0 && is_retryable(&e) => {
                     attempts_left -= 1;
                     NodeStats::add(&self.node.stats().calls_retried, 1);
+                    if hat_trace::enabled() {
+                        // Batch-level retry: the unacked spans are re-minted
+                        // on the next attempt, so no single call id applies.
+                        hat_trace::event(
+                            Phase::Retry,
+                            self.node.id(),
+                            0,
+                            attempts_left as u64,
+                            now_ns(),
+                        );
+                    }
                     self.channels.remove(&plan.key);
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
@@ -529,6 +597,14 @@ impl HatClient {
         let window = pipe.window();
         let mut inflight: VecDeque<(hat_protocols::Token, usize)> = VecDeque::new();
         let mut next = 0usize;
+        // Each windowed request gets its own span (re-issued requests get
+        // a fresh one per attempt). Batched flushes inside submit/wait are
+        // attributed to the call whose submit or wait triggered them.
+        let traced = hat_trace::enabled();
+        let label = plan.selection.protocol.label();
+        let node_id = self.node.id();
+        let mut spans: Vec<(u64, u64)> =
+            if traced { vec![(0, 0); requests.len()] } else { Vec::new() };
         loop {
             // Refill with hysteresis: top the window up only once it has
             // drained to half. Refilling one slot per completion would
@@ -540,14 +616,41 @@ impl HatClient {
             if inflight.len() <= window / 2 {
                 while inflight.len() < window && next < requests.len() {
                     if done[next].is_none() {
-                        let token = pipe.submit(&requests[next])?;
+                        let token = if traced {
+                            let id = hat_trace::next_call_id();
+                            let t = now_ns();
+                            let bytes = requests[next].len() as u64;
+                            hat_trace::register_call(id, label, func, bytes);
+                            hat_trace::event(Phase::CallBegin, node_id, id, bytes, t);
+                            spans[next] = (id, t);
+                            let _span = hat_trace::call_scope(id);
+                            pipe.submit(&requests[next])?
+                        } else {
+                            pipe.submit(&requests[next])?
+                        };
                         inflight.push_back((token, next));
                     }
                     next += 1;
                 }
             }
             let Some(&(token, idx)) = inflight.front() else { return Ok(()) };
-            let response = pipe.wait(token)?;
+            let response = if traced {
+                let _span = hat_trace::call_scope(spans[idx].0);
+                pipe.wait(token)?
+            } else {
+                pipe.wait(token)?
+            };
+            if traced {
+                let (id, t0) = spans[idx];
+                let end = now_ns();
+                hat_trace::event(Phase::CallEnd, node_id, id, response.len() as u64, end);
+                hat_trace::hist::record_latency(
+                    label,
+                    func,
+                    requests[idx].len() as u64,
+                    end.saturating_sub(t0),
+                );
+            }
             done[idx] = Some(response.to_vec());
             inflight.pop_front();
         }
@@ -759,7 +862,11 @@ impl HatServer {
                     let item = match negotiate(ep, &schema) {
                         Ok(item) => item,
                         Err(e) => {
-                            eprintln!("hatrpc: connection negotiation failed: {e}");
+                            hat_trace::annotate(
+                                ep_handle.node().id(),
+                                now_ns(),
+                                &format!("connection negotiation failed: {e}"),
+                            );
                             continue;
                         }
                     };
@@ -843,6 +950,12 @@ struct WorkItem {
     server: Box<dyn hat_protocols::RpcServer>,
     numa_bind: bool,
     bind_core: u32,
+    /// Function scope from the preamble — names server-side trace spans.
+    fn_scope: String,
+    /// Negotiated protocol label, for server-side span metadata.
+    proto_label: &'static str,
+    /// Serving node id — the trace track server spans land on.
+    node_id: u64,
 }
 
 /// Read the preamble, resolve server-side hints, build the protocol server.
@@ -870,6 +983,7 @@ fn negotiate(ep: hat_rdma_sim::Endpoint, schema: &ServiceSchema) -> Result<WorkI
         ..ProtocolConfig::default()
     };
     let bind_core = ep.node().topology().nic_node * ep.node().topology().cores_per_numa();
+    let node_id = ep.node().id();
     // queue_depth > 1 asks for the protocol's pipelined variant: the
     // window rides in `ring_slots`, so the geometry above already fits.
     let server = if preamble.queue_depth > 1 {
@@ -877,13 +991,39 @@ fn negotiate(ep: hat_rdma_sim::Endpoint, schema: &ServiceSchema) -> Result<WorkI
     } else {
         accept_server(preamble.kind, ep, cfg)?
     };
-    Ok(WorkItem { server, numa_bind: server_hints.numa_binding.unwrap_or(false), bind_core })
+    Ok(WorkItem {
+        server,
+        numa_bind: server_hints.numa_binding.unwrap_or(false),
+        bind_core,
+        fn_scope: preamble.fn_scope.clone(),
+        proto_label: preamble.kind.label(),
+        node_id,
+    })
 }
 
 fn serve_connection(mut item: WorkItem, factory: &HandlerFactory) {
     let _bind = item.numa_bind.then(|| numa::bind_current_thread(item.bind_core));
     let mut handler = factory();
-    let _ = item.server.serve_loop(&mut handler);
+    if hat_trace::enabled() {
+        // Wrap the handler so every served request becomes its own span
+        // on the server's track, with sim-layer events (response WR post,
+        // completion) attributed to it via the thread-local call scope.
+        let node = item.node_id;
+        let label = item.proto_label;
+        let fn_scope = item.fn_scope.clone();
+        let mut traced = move |req: &[u8]| {
+            let id = hat_trace::next_call_id();
+            hat_trace::register_call(id, label, &fn_scope, req.len() as u64);
+            hat_trace::event(Phase::ServerBegin, node, id, req.len() as u64, now_ns());
+            let _span = hat_trace::call_scope(id);
+            let resp = handler(req);
+            hat_trace::event(Phase::ServerEnd, node, id, resp.len() as u64, now_ns());
+            resp
+        };
+        let _ = item.server.serve_loop(&mut traced);
+    } else {
+        let _ = item.server.serve_loop(&mut handler);
+    }
 }
 
 impl Drop for HatServer {

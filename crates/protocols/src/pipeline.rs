@@ -199,9 +199,33 @@ impl Window {
     }
 }
 
-/// Charge one batched post to the pipeline statistics.
-fn note_doorbell(ep: &Endpoint) {
+/// Charge one batched post of `batch` staged WRs to the pipeline
+/// statistics, and mark the flush boundary on the trace timeline.
+fn note_doorbell(ep: &Endpoint, batch: usize) {
     NodeStats::add(&ep.node().stats().pipeline_doorbells, 1);
+    if hat_trace::enabled() {
+        hat_trace::event(
+            hat_trace::Phase::Flush,
+            ep.node().id(),
+            hat_trace::current_call(),
+            batch as u64,
+            hat_rdma_sim::now_ns(),
+        );
+    }
+}
+
+/// Mark a server-side burst drain of `n` requests on the trace timeline
+/// (bursts serve many interleaved calls, so no single call id applies).
+fn note_burst(ep: &Endpoint, n: usize) {
+    if hat_trace::enabled() {
+        hat_trace::event(
+            hat_trace::Phase::Burst,
+            ep.node().id(),
+            0,
+            n as u64,
+            hat_rdma_sim::now_ns(),
+        );
+    }
 }
 
 /// Charge one submitted call and refresh the in-flight high-water mark.
@@ -306,9 +330,10 @@ impl PipelinedClient for PipelinedEager {
         if self.staged.is_empty() {
             return Ok(());
         }
+        let batch = self.staged.len();
         self.ep.post_send(&self.staged)?;
         self.staged.clear();
-        note_doorbell(&self.ep);
+        note_doorbell(&self.ep, batch);
         Ok(())
     }
 
@@ -434,8 +459,9 @@ impl RpcServer for PipelinedEagerServer {
                 self.stage_response(comp, handler, &mut staged)?;
             }
             // The whole burst's responses ride one doorbell.
+            note_burst(&self.ep, staged.len());
             self.ep.post_send(&staged)?;
-            note_doorbell(&self.ep);
+            note_doorbell(&self.ep, staged.len());
         }
     }
 
@@ -551,9 +577,10 @@ impl PipelinedClient for PipelinedChainedWrite {
         if self.staged.is_empty() {
             return Ok(());
         }
+        let batch = self.staged.len();
         self.ep.post_send(&self.staged)?;
         self.staged.clear();
-        note_doorbell(&self.ep);
+        note_doorbell(&self.ep, batch);
         Ok(())
     }
 
@@ -748,9 +775,10 @@ impl PipelinedClient for PipelinedWriteImm {
         if self.staged.is_empty() {
             return Ok(());
         }
+        let batch = self.staged.len();
         self.ep.post_send(&self.staged)?;
         self.staged.clear();
-        note_doorbell(&self.ep);
+        note_doorbell(&self.ep, batch);
         Ok(())
     }
 
@@ -870,8 +898,9 @@ impl RpcServer for PipelinedWriteImmServer {
                 self.stage_response(comp, handler, &mut staged)?;
             }
             // The whole burst's responses ride one doorbell.
+            note_burst(&self.ep, staged.len());
             self.ep.post_send(&staged)?;
-            note_doorbell(&self.ep);
+            note_doorbell(&self.ep, staged.len());
         }
     }
 
@@ -1033,9 +1062,10 @@ impl PipelinedClient for PipelinedHybrid {
         if self.staged.is_empty() {
             return Ok(());
         }
+        let batch = self.staged.len();
         self.ep.post_send(&self.staged)?;
         self.staged.clear();
-        note_doorbell(&self.ep);
+        note_doorbell(&self.ep, batch);
         Ok(())
     }
 
@@ -1403,14 +1433,11 @@ mod tests {
             let tokens: Vec<Token> =
                 (0..8).map(|i| pair.client.submit(&patterned(i, 64)).unwrap()).collect();
             pair.client.flush().unwrap();
+            let delta = pair.cnode.stats_snapshot() - before;
+            assert_eq!(delta.doorbells, 1, "{kind}: 8 staged submits must post under one doorbell");
+            assert_eq!(delta.pipeline_doorbells, 1, "{kind}");
+            assert_eq!(delta.pipelined_calls, 8, "{kind}");
             let after = pair.cnode.stats_snapshot();
-            assert_eq!(
-                after.doorbells - before.doorbells,
-                1,
-                "{kind}: 8 staged submits must post under one doorbell"
-            );
-            assert_eq!(after.pipeline_doorbells - before.pipeline_doorbells, 1, "{kind}");
-            assert_eq!(after.pipelined_calls - before.pipelined_calls, 8, "{kind}");
             assert!(after.inflight_hwm >= 8, "{kind}: high-water mark saw the full window");
             for &t in &tokens {
                 pair.client.wait(t).unwrap();

@@ -195,6 +195,15 @@ impl CompletionQueue {
             drop(guard);
             NodeStats::add(&node.stats().completions, 1);
             node.charge_cpu(node.config().cost.poll_cqe_ns);
+            if hat_trace::enabled() {
+                hat_trace::event(
+                    hat_trace::Phase::Completion,
+                    node.id(),
+                    hat_trace::current_call(),
+                    e.completion.wr_id,
+                    now_ns(),
+                );
+            }
             Some(e.completion)
         } else {
             None
@@ -234,6 +243,15 @@ impl CompletionQueue {
                         drop(guard);
                         NodeStats::add(&node.stats().completions, 1);
                         NodeStats::add(&node.stats().cpu_busy_ns, now_ns() - start);
+                        if hat_trace::enabled() {
+                            hat_trace::event(
+                                hat_trace::Phase::Completion,
+                                node.id(),
+                                hat_trace::current_call(),
+                                e.completion.wr_id,
+                                now_ns(),
+                            );
+                        }
                         return Ok(e.completion);
                     }
                     if now >= give_up {
@@ -284,6 +302,26 @@ impl CompletionQueue {
                         drop(guard);
                         NodeStats::add(&node.stats().completions, 1);
                         node.charge_cpu(node.config().cost.poll_cqe_ns);
+                        if hat_trace::enabled() {
+                            // The interrupt/wakeup path is a distinct §3.2
+                            // stage: mark when the entry became ready and
+                            // when the woken thread consumed it.
+                            let call = hat_trace::current_call();
+                            hat_trace::event(
+                                hat_trace::Phase::Wakeup,
+                                node.id(),
+                                call,
+                                wake,
+                                e.ready_at + wake,
+                            );
+                            hat_trace::event(
+                                hat_trace::Phase::Completion,
+                                node.id(),
+                                call,
+                                e.completion.wr_id,
+                                now_ns(),
+                            );
+                        }
                         return Ok(e.completion);
                     }
                     if now >= give_up {

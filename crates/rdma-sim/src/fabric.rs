@@ -95,6 +95,9 @@ impl Fabric {
         let prev = self.inner.by_name.write().insert(name.to_string(), node.clone());
         assert!(prev.is_none(), "duplicate node name {name}");
         self.inner.registry.nodes.write().insert(id, node.clone());
+        // Name the node's trace track up front (unconditionally: nodes
+        // are rare and often created before a capture window opens).
+        hat_trace::register_track(id, name);
         node
     }
 

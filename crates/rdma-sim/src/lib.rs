@@ -106,3 +106,9 @@ pub use qp::{Endpoint, QpConfig};
 pub use stats::{FabricStats, NodeStats};
 pub use time::now_ns;
 pub use wr::{Opcode, RecvWr, SendWr};
+
+// The sim layer emits `hat-trace` events (WR post → doorbell → NIC →
+// wire → delivery → completion → wakeup) when tracing is enabled;
+// re-exported so downstream layers share one tracing crate instance
+// without spelling the dependency twice.
+pub use hat_trace;

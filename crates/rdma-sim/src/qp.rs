@@ -392,6 +392,12 @@ impl Endpoint {
         NodeStats::add(&node.stats().wrs_posted, chain.len() as u64);
         NodeStats::add(&node.stats().doorbells, 1);
         NodeStats::add(&node.stats().memcpys, memcpys);
+        if hat_trace::enabled() {
+            let call = hat_trace::current_call();
+            let t = now_ns();
+            hat_trace::event(hat_trace::Phase::WrPost, node.id(), call, chain.len() as u64, t);
+            hat_trace::event(hat_trace::Phase::Doorbell, node.id(), call, 1, t);
+        }
 
         // ---- schedule wire activity -------------------------------------
         for wr in chain {
@@ -503,6 +509,24 @@ impl Endpoint {
             NodeStats::add(&node.stats().bytes_rx, bytes as u64);
             NodeStats::add(&target.node.stats().inbound_rdma, 1);
             NodeStats::add(&target.node.stats().bytes_tx, bytes as u64);
+
+            // The simulator knows the whole operation's schedule at post
+            // time, so the wire-phase events carry their (future)
+            // deadlines: request leaves the NIC at `ee`, the payload
+            // finishes streaming back at `ie`, and the read data becomes
+            // visible locally at `deadline`.
+            if hat_trace::enabled() {
+                let call = hat_trace::current_call();
+                hat_trace::event(hat_trace::Phase::NicTx, node.id(), call, bytes as u64, ee);
+                hat_trace::event(hat_trace::Phase::Wire, node.id(), call, bytes as u64, ie);
+                hat_trace::event(
+                    hat_trace::Phase::Delivered,
+                    node.id(),
+                    call,
+                    bytes as u64,
+                    deadline,
+                );
+            }
 
             match atomic {
                 Some((compare_swap, add)) => node.push_effect(
@@ -622,10 +646,27 @@ impl Endpoint {
         NodeStats::add(&node.stats().bytes_tx, bytes as u64);
         NodeStats::add(&dest_node.stats().bytes_rx, bytes as u64);
 
+        // Wire-phase events: the egress link reservation and the remote
+        // delivery deadline are known now, so the events are recorded
+        // here with their scheduled (possibly future) timestamps. The
+        // `Delivered` event lands on the *destination* node's track —
+        // that is the far end of the exported flow arrow.
+        if hat_trace::enabled() {
+            let call = hat_trace::current_call();
+            hat_trace::event(hat_trace::Phase::NicTx, node.id(), call, bytes as u64, es);
+            hat_trace::event(hat_trace::Phase::Wire, node.id(), call, bytes as u64, ee);
+            hat_trace::event(
+                hat_trace::Phase::Delivered,
+                dest_node.id(),
+                call,
+                bytes as u64,
+                deadline,
+            );
+        }
+
         if wr.signaled {
             // Local send completion: NIC finished pushing the message out.
             let ready = ee + cfg.scaled(cost.nic_process_ns);
-            let _ = deadline; // remote-side deadline; local completion is earlier
             self.inner.send_cq.inner.push(
                 ready,
                 Completion {
@@ -832,16 +873,20 @@ mod tests {
         let (_f, c, s) = pair();
         let smr = s.pd().register(64).unwrap();
         let rb = smr.remote_buf(0, 64);
-        let before = c.node().stats_snapshot().doorbells;
+        let before = c.node().stats_snapshot();
         c.post_send(&[
             SendWr::write_inline(1, b"one", rb),
             SendWr::write_inline(2, b"two", rb.sub(8, 8)),
         ])
         .unwrap();
-        assert_eq!(c.node().stats_snapshot().doorbells, before + 1);
+        let chained = c.node().stats_snapshot() - before;
+        assert_eq!(chained.doorbells, 1);
+        assert_eq!(chained.wrs_posted, 2);
         c.post_send(&[SendWr::write_inline(3, b"x", rb)]).unwrap();
         c.post_send(&[SendWr::write_inline(4, b"y", rb)]).unwrap();
-        assert_eq!(c.node().stats_snapshot().doorbells, before + 3);
+        let total = c.node().stats_snapshot() - before;
+        assert_eq!(total.doorbells, 3);
+        assert_eq!(total.wrs_posted, 4);
     }
 
     #[test]

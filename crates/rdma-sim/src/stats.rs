@@ -156,6 +156,81 @@ pub struct NodeStatsSnapshot {
     pub inflight_hwm: u64,
 }
 
+impl NodeStatsSnapshot {
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    /// The single source of truth for exhaustive expositions (`repro
+    /// stats --json`, trace summaries): adding a field here is the only
+    /// way it shows up in a snapshot, so reports cannot silently miss a
+    /// counter.
+    pub fn fields(&self) -> [(&'static str, u64); 24] {
+        [
+            ("wrs_posted", self.wrs_posted),
+            ("doorbells", self.doorbells),
+            ("recvs_posted", self.recvs_posted),
+            ("completions", self.completions),
+            ("bytes_tx", self.bytes_tx),
+            ("bytes_rx", self.bytes_rx),
+            ("inbound_rdma", self.inbound_rdma),
+            ("outbound_rdma", self.outbound_rdma),
+            ("memcpys", self.memcpys),
+            ("rnr_stalls", self.rnr_stalls),
+            ("cpu_busy_ns", self.cpu_busy_ns),
+            ("registered_bytes", self.registered_bytes),
+            ("registered_bytes_peak", self.registered_bytes_peak),
+            ("connections", self.connections),
+            ("faults_dropped", self.faults_dropped),
+            ("faults_delayed", self.faults_delayed),
+            ("qp_errors", self.qp_errors),
+            ("calls_ok", self.calls_ok),
+            ("calls_retried", self.calls_retried),
+            ("calls_timed_out", self.calls_timed_out),
+            ("calls_failed", self.calls_failed),
+            ("pipelined_calls", self.pipelined_calls),
+            ("pipeline_doorbells", self.pipeline_doorbells),
+            ("inflight_hwm", self.inflight_hwm),
+        ]
+    }
+}
+
+/// Saturating per-field delta: `after - before` is what a phase of work
+/// did, immune to whatever handshakes and warmup ran earlier. Gauge-like
+/// fields (`registered_bytes`, `inflight_hwm`) saturate to zero rather
+/// than wrapping when they shrank across the window.
+impl std::ops::Sub for NodeStatsSnapshot {
+    type Output = NodeStatsSnapshot;
+
+    fn sub(self, rhs: NodeStatsSnapshot) -> NodeStatsSnapshot {
+        NodeStatsSnapshot {
+            wrs_posted: self.wrs_posted.saturating_sub(rhs.wrs_posted),
+            doorbells: self.doorbells.saturating_sub(rhs.doorbells),
+            recvs_posted: self.recvs_posted.saturating_sub(rhs.recvs_posted),
+            completions: self.completions.saturating_sub(rhs.completions),
+            bytes_tx: self.bytes_tx.saturating_sub(rhs.bytes_tx),
+            bytes_rx: self.bytes_rx.saturating_sub(rhs.bytes_rx),
+            inbound_rdma: self.inbound_rdma.saturating_sub(rhs.inbound_rdma),
+            outbound_rdma: self.outbound_rdma.saturating_sub(rhs.outbound_rdma),
+            memcpys: self.memcpys.saturating_sub(rhs.memcpys),
+            rnr_stalls: self.rnr_stalls.saturating_sub(rhs.rnr_stalls),
+            cpu_busy_ns: self.cpu_busy_ns.saturating_sub(rhs.cpu_busy_ns),
+            registered_bytes: self.registered_bytes.saturating_sub(rhs.registered_bytes),
+            registered_bytes_peak: self
+                .registered_bytes_peak
+                .saturating_sub(rhs.registered_bytes_peak),
+            connections: self.connections.saturating_sub(rhs.connections),
+            faults_dropped: self.faults_dropped.saturating_sub(rhs.faults_dropped),
+            faults_delayed: self.faults_delayed.saturating_sub(rhs.faults_delayed),
+            qp_errors: self.qp_errors.saturating_sub(rhs.qp_errors),
+            calls_ok: self.calls_ok.saturating_sub(rhs.calls_ok),
+            calls_retried: self.calls_retried.saturating_sub(rhs.calls_retried),
+            calls_timed_out: self.calls_timed_out.saturating_sub(rhs.calls_timed_out),
+            calls_failed: self.calls_failed.saturating_sub(rhs.calls_failed),
+            pipelined_calls: self.pipelined_calls.saturating_sub(rhs.pipelined_calls),
+            pipeline_doorbells: self.pipeline_doorbells.saturating_sub(rhs.pipeline_doorbells),
+            inflight_hwm: self.inflight_hwm.saturating_sub(rhs.inflight_hwm),
+        }
+    }
+}
+
 /// Fabric-wide aggregate statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FabricStats {
@@ -206,6 +281,41 @@ mod tests {
         s.note_inflight(8);
         s.note_inflight(5);
         assert_eq!(s.snapshot().inflight_hwm, 8);
+    }
+
+    #[test]
+    fn snapshot_delta_is_per_field_and_saturating() {
+        let a = NodeStatsSnapshot {
+            wrs_posted: 10,
+            doorbells: 4,
+            bytes_tx: 1000,
+            ..Default::default()
+        };
+        let b =
+            NodeStatsSnapshot { wrs_posted: 3, doorbells: 6, bytes_tx: 400, ..Default::default() };
+        let d = a - b;
+        assert_eq!(d.wrs_posted, 7);
+        assert_eq!(d.bytes_tx, 600);
+        // Gauge shrank across the window: saturates instead of wrapping.
+        assert_eq!(d.doorbells, 0);
+        assert_eq!(d.memcpys, 0);
+    }
+
+    #[test]
+    fn fields_cover_every_counter() {
+        let s = NodeStats::default();
+        NodeStats::add(&s.inflight_hwm, 9);
+        NodeStats::add(&s.wrs_posted, 2);
+        let snap = s.snapshot();
+        let fields = snap.fields();
+        assert_eq!(fields.len(), 24);
+        let names: Vec<_> = fields.iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "field names must be unique");
+        assert_eq!(fields.iter().find(|(n, _)| *n == "wrs_posted").unwrap().1, 2);
+        assert_eq!(fields.iter().find(|(n, _)| *n == "inflight_hwm").unwrap().1, 9);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Property tests for the log2 latency histogram: whatever is recorded,
+//! reported percentiles stay within the true value range, counts add up,
+//! and ordering of quantiles is monotone.
+
+use hat_trace::hist::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A percentile must never be below the true minimum nor above the
+    /// true maximum of the recorded values.
+    #[test]
+    fn percentiles_stay_within_recorded_range(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        q_mil in 1u64..=1000,
+    ) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let true_min = *values.iter().min().unwrap();
+        let true_max = *values.iter().max().unwrap();
+        let q = q_mil as f64 / 1000.0;
+        let p = h.percentile(q);
+        prop_assert!(p >= true_min, "p{q} = {p} below true min {true_min}");
+        prop_assert!(p <= true_max, "p{q} = {p} above true max {true_max}");
+        prop_assert_eq!(h.min(), true_min);
+        prop_assert_eq!(h.max(), true_max);
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn percentiles_are_monotone_in_q(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert!(h.p50() <= h.p90());
+        prop_assert!(h.p90() <= h.p99());
+        prop_assert!(h.p99() <= h.max());
+    }
+}
