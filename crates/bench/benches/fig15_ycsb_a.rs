@@ -3,7 +3,7 @@
 mod common;
 
 use criterion::{BenchmarkId, Criterion};
-use hat_bench::{run_ycsb, KvSystem, YcsbConfig};
+use hat_bench::{run_ycsb, KvSystem, KvWorkload, YcsbConfig};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig15_ycsb_a");
@@ -12,10 +12,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 run_ycsb(&YcsbConfig {
                     system,
-                    workload_b: false,
+                    workload: KvWorkload::MixA,
                     clients: 2,
                     records: 400,
                     ops_per_client: 12,
+                    shards: 4,
+                    commit_cost_ns: None,
                 })
             });
         });

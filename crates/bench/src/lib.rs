@@ -31,7 +31,7 @@ use hat_tpch::{ClusterConfig, TpchCluster, TransportMode};
 pub use protocol_bench::{raw_latency, raw_throughput, RawLatencyPoint, RawThroughputPoint};
 pub use table::Table;
 pub use trace_bench::{capture_micro_trace, latency_json, stats_json, MicroTrace};
-pub use ycsb_bench::{run_ycsb, KvSystem, YcsbConfig, YcsbPoint};
+pub use ycsb_bench::{run_ycsb, KvSystem, KvWorkload, YcsbConfig, YcsbPoint};
 
 /// Sweep size preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -280,7 +280,7 @@ pub fn fig14_mix(scale: Scale) -> Table {
     fig_mix(scale, 131072, "Figure 14 — mix benchmark, 128 KB payloads (function-level hints)")
 }
 
-fn fig_ycsb(scale: Scale, workload_b: bool, title: &str) -> Table {
+fn fig_ycsb(scale: Scale, workload: KvWorkload, title: &str) -> Table {
     let (clients, records, ops) = match scale {
         Scale::Quick => (8, 2_000, 40),
         Scale::Full => (32, 20_000, 150),
@@ -288,7 +288,15 @@ fn fig_ycsb(scale: Scale, workload_b: bool, title: &str) -> Table {
     let mut table =
         Table::new(title, &["system", "kops/s", "Get us", "Put us", "MGet us", "MPut us"]);
     for system in KvSystem::ALL {
-        let r = run_ycsb(&YcsbConfig { system, workload_b, clients, records, ops_per_client: ops });
+        let r = run_ycsb(&YcsbConfig {
+            system,
+            workload,
+            clients,
+            records,
+            ops_per_client: ops,
+            shards: 4,
+            commit_cost_ns: None,
+        });
         table.row(vec![
             system.label().to_string(),
             format!("{:.2}", r.throughput_ops_s / 1000.0),
@@ -303,12 +311,16 @@ fn fig_ycsb(scale: Scale, workload_b: bool, title: &str) -> Table {
 
 /// Fig. 15: YCSB workload A' (25/25/25/25) across the six systems.
 pub fn fig15_ycsb(scale: Scale) -> Table {
-    fig_ycsb(scale, false, "Figure 15 — HatKV vs comparators, YCSB-A (25/25/25/25)")
+    fig_ycsb(scale, KvWorkload::MixA, "Figure 15 — HatKV vs comparators, YCSB-A (25/25/25/25)")
 }
 
 /// Fig. 16: YCSB workload B' (47.5/2.5/47.5/2.5) across the six systems.
 pub fn fig16_ycsb(scale: Scale) -> Table {
-    fig_ycsb(scale, true, "Figure 16 — HatKV vs comparators, YCSB-B (47.5/2.5/47.5/2.5)")
+    fig_ycsb(
+        scale,
+        KvWorkload::MixB,
+        "Figure 16 — HatKV vs comparators, YCSB-B (47.5/2.5/47.5/2.5)",
+    )
 }
 
 /// Fig. 17: the 22 TPC-H queries over the three transports.

@@ -190,10 +190,21 @@ mod tests {
     fn busy_polling_beats_event_polling_single_client() {
         // Compare best-case round trips: the simulated event-wakeup cost
         // is a deterministic floor, while means absorb host scheduler
-        // noise that can exceed the few-microsecond modelled gap.
-        let busy = raw_latency(ProtocolKind::EagerSendRecv, PollMode::Busy, 512, 16);
-        let event = raw_latency(ProtocolKind::EagerSendRecv, PollMode::Event, 512, 16);
-        assert!(busy.min_ns < event.min_ns, "busy {} vs event {}", busy.min_ns, event.min_ns);
+        // noise that can exceed the few-microsecond modelled gap. Even
+        // minima can be inflated when a whole 16-iter run never gets an
+        // unpreempted round trip (seen with `--test-threads=4` on one
+        // core), so re-measure a few times and accept the first clean
+        // pair.
+        let mut last = (0, 0);
+        for _ in 0..4 {
+            let busy = raw_latency(ProtocolKind::EagerSendRecv, PollMode::Busy, 512, 16);
+            let event = raw_latency(ProtocolKind::EagerSendRecv, PollMode::Event, 512, 16);
+            if busy.min_ns < event.min_ns {
+                return;
+            }
+            last = (busy.min_ns, event.min_ns);
+        }
+        panic!("busy {} vs event {}", last.0, last.1);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use hat_hatkv::comparators::{Comparator, ComparatorServer, RawKvClient};
 use hat_hatkv::server::{service_only_schema, HatKvServer, KvVariant};
 use hat_hatkv::{hat_k_v_schema, HatKVClient};
 use hat_idl::hints::Hint;
-use hat_kvdb::{Database, DbConfig, SyncMode};
+use hat_kvdb::{DbConfig, DbStatsSnapshot, ShardedDb, SyncMode};
 use hat_protocols::ProtocolConfig;
 use hat_rdma_sim::{now_ns, Fabric, PollMode, SimConfig};
 use hat_ycsb::measure::RunMeasurement;
@@ -67,20 +67,58 @@ impl KvSystem {
     }
 }
 
+/// Which operation mix a YCSB run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvWorkload {
+    /// The paper's workload A' (25/25/25/25, Zipfian).
+    MixA,
+    /// The paper's workload B' (47.5/2.5/47.5/2.5, Zipfian) — read-heavy.
+    MixB,
+    /// Classic YCSB-A (50% GET / 50% PUT, uniform keys, no batching) —
+    /// the write-serialization stress mix for the shard sweep.
+    WriteHeavy,
+}
+
+impl KvWorkload {
+    /// The workload spec at `records` preloaded records.
+    pub fn spec(&self, records: usize) -> WorkloadSpec {
+        match self {
+            KvWorkload::MixA => WorkloadSpec::workload_a(records),
+            KvWorkload::MixB => WorkloadSpec::workload_b(records),
+            KvWorkload::WriteHeavy => WorkloadSpec::write_heavy(records),
+        }
+    }
+
+    /// Stable label for report rows and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KvWorkload::MixA => "ycsb-a",
+            KvWorkload::MixB => "ycsb-b",
+            KvWorkload::WriteHeavy => "write-heavy",
+        }
+    }
+}
+
 /// YCSB run parameters.
 #[derive(Debug, Clone)]
 pub struct YcsbConfig {
     /// System under test.
     pub system: KvSystem,
-    /// `false` = workload A' (25/25/25/25); `true` = workload B'
-    /// (47.5/2.5/47.5/2.5).
-    pub workload_b: bool,
+    /// Operation mix.
+    pub workload: KvWorkload,
     /// Concurrent client threads (paper: 128 over 4 nodes).
     pub clients: usize,
     /// Records preloaded.
     pub records: usize,
     /// Operations per client.
     pub ops_per_client: usize,
+    /// Backend shard count, injected into the schema's server-side
+    /// `shards` hint (the server builds its partitioning from the hint).
+    pub shards: u32,
+    /// Override for the modeled per-commit stall (`None` = the sync
+    /// mode's default). The shard sweep raises this so writer-lock
+    /// serialization, not CPU, dominates — see `shard_sweep.rs`.
+    pub commit_cost_ns: Option<u64>,
 }
 
 /// One measured YCSB point.
@@ -92,6 +130,9 @@ pub struct YcsbPoint {
     pub mean_us: [f64; 4],
     /// The raw measurement.
     pub measurement: RunMeasurement,
+    /// Per-shard backend counters at the end of the run, in shard order
+    /// (writer-lock wait, txns, bytes — the sharding observability).
+    pub shard_stats: Vec<DbStatsSnapshot>,
 }
 
 /// Comparator wire configuration: buffers sized for MultiGet responses,
@@ -107,7 +148,7 @@ fn comparator_cfg(poll: PollMode) -> ProtocolConfig {
 /// an operator would hint the real number — a deliberately wrong
 /// concurrency hint mis-selects polling exactly as the paper's model
 /// predicts.
-fn schema_for(clients: usize, service_only: bool) -> ServiceSchema {
+fn schema_for(clients: usize, service_only: bool, shards: u32) -> ServiceSchema {
     let mut schema = if service_only { service_only_schema() } else { hat_k_v_schema() };
     for hint in &mut schema.service_hints.shared {
         if hint.key == "concurrency" {
@@ -119,6 +160,16 @@ fn schema_for(clients: usize, service_only: bool) -> ServiceSchema {
             .service_hints
             .shared
             .push(Hint { key: "concurrency".into(), value: clients.to_string() });
+    }
+    // The shard count under test rides the server-side `shards` hint, the
+    // same way an operator would retune the checked-in IDL's default.
+    for hint in &mut schema.service_hints.server {
+        if hint.key == "shards" {
+            hint.value = shards.to_string();
+        }
+    }
+    if !schema.service_hints.server.iter().any(|h| h.key == "shards") {
+        schema.service_hints.server.push(Hint { key: "shards".into(), value: shards.to_string() });
     }
     schema
 }
@@ -147,50 +198,52 @@ impl AnyKv {
 pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
     let fabric = Fabric::new(SimConfig::default());
     let snode = fabric.add_node("kv-server");
-    let db = Database::new(DbConfig { sync_mode: SyncMode::NoSync, max_readers: 512 });
-
-    // Load phase (direct, as YCSB's load phase is not what's measured).
-    let spec = if cfg.workload_b {
-        WorkloadSpec::workload_b(cfg.records)
-    } else {
-        WorkloadSpec::workload_a(cfg.records)
+    let db_config = DbConfig {
+        sync_mode: SyncMode::NoSync,
+        max_readers: 512,
+        commit_cost_ns: cfg.commit_cost_ns,
     };
-    {
-        let mut txn = db.begin_write().expect("writer");
-        for (k, v) in OpGenerator::load_phase(&spec) {
-            txn.put(&k, &v);
-        }
-        txn.commit();
-    }
+
+    let spec = cfg.workload.spec(cfg.records);
 
     enum Server {
         Hat(HatKvServer),
         Comp(ComparatorServer),
     }
-    let server = match cfg.system.comparator() {
+    let (server, db) = match cfg.system.comparator() {
         None => {
             let variant = if cfg.system == KvSystem::HatRpcFunction {
                 KvVariant::FunctionHints
             } else {
                 KvVariant::ServiceHints
             };
-            Server::Hat(HatKvServer::start_with_schema(
+            // The HatRPC deployments build their backend from the
+            // negotiated `shards` hint; the bench only writes the schema.
+            let schema = schema_for(cfg.clients, variant == KvVariant::ServiceHints, cfg.shards);
+            let server = HatKvServer::start_with_schema(&fabric, &snode, "kv", schema, db_config);
+            let db = server.db().clone();
+            (Server::Hat(server), db)
+        }
+        Some(c) => {
+            // Comparators have no hint machinery: the backend is built
+            // directly at the same shard count for a fair comparison.
+            let db = ShardedDb::new(db_config, cfg.shards);
+            let server = ComparatorServer::start(
                 &fabric,
                 &snode,
                 "kv",
-                schema_for(cfg.clients, variant == KvVariant::ServiceHints),
+                c.protocol(),
+                comparator_cfg(PollMode::Event),
                 db.clone(),
-            ))
+            );
+            (Server::Comp(server), db)
         }
-        Some(c) => Server::Comp(ComparatorServer::start(
-            &fabric,
-            &snode,
-            "kv",
-            c.protocol(),
-            comparator_cfg(PollMode::Event),
-            db.clone(),
-        )),
     };
+
+    // Load phase (direct, as YCSB's load phase is not what's measured —
+    // after server start so the hint-constructed backend is the one
+    // preloaded; one batched txn per shard).
+    db.multi_put(OpGenerator::load_phase(&spec));
 
     // Clients over 4 client nodes, as in the paper's YCSB deployment.
     let client_nodes: Vec<_> =
@@ -205,6 +258,7 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
         let system = cfg.system;
         let ops = cfg.ops_per_client;
         let clients = cfg.clients;
+        let shards = cfg.shards;
         handles.push(std::thread::spawn(move || -> RunMeasurement {
             // NOTE: setup panics here would strand the main thread at the
             // barrier; keep every fallible step before the barrier
@@ -212,10 +266,10 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
             let mut client =
                 match system {
                     KvSystem::HatRpcFunction => AnyKv::Hat(Box::new(HatKVClient::new(
-                        HatClient::new(&fabric, &node, "kv", &schema_for(clients, false)),
+                        HatClient::new(&fabric, &node, "kv", &schema_for(clients, false, shards)),
                     ))),
                     KvSystem::HatRpcService => AnyKv::Hat(Box::new(HatKVClient::new(
-                        HatClient::new(&fabric, &node, "kv", &schema_for(clients, true)),
+                        HatClient::new(&fabric, &node, "kv", &schema_for(clients, true, shards)),
                     ))),
                     other => {
                         let comp = other.comparator().expect("comparator system");
@@ -260,6 +314,7 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
         aggregate.merge(&h.join().expect("client thread"));
     }
     aggregate.elapsed_ns = now_ns() - t0;
+    let shard_stats = db.shard_stats();
     match server {
         Server::Hat(s) => s.shutdown(),
         Server::Comp(s) => s.shutdown(),
@@ -267,7 +322,12 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
 
     let mean_us = [OpType::Get, OpType::Put, OpType::MultiGet, OpType::MultiPut]
         .map(|t| aggregate.histogram(t).map_or(0.0, |h| h.mean_ns() as f64 / 1000.0));
-    YcsbPoint { throughput_ops_s: aggregate.throughput_ops_s(), mean_us, measurement: aggregate }
+    YcsbPoint {
+        throughput_ops_s: aggregate.throughput_ops_s(),
+        mean_us,
+        measurement: aggregate,
+        shard_stats,
+    }
 }
 
 #[cfg(test)]
@@ -278,25 +338,47 @@ mod tests {
     fn hatkv_function_point_runs() {
         let p = run_ycsb(&YcsbConfig {
             system: KvSystem::HatRpcFunction,
-            workload_b: false,
+            workload: KvWorkload::MixA,
             clients: 2,
             records: 300,
             ops_per_client: 10,
+            shards: 4,
+            commit_cost_ns: None,
         });
         assert!(p.throughput_ops_s > 0.0);
         assert_eq!(p.measurement.total_ops(), 20);
+        assert_eq!(p.shard_stats.len(), 4, "hint-built backend has the requested shards");
+        assert!(p.shard_stats.iter().map(|s| s.puts).sum::<u64>() >= 300, "preload reached shards");
     }
 
     #[test]
     fn comparator_point_runs() {
         let p = run_ycsb(&YcsbConfig {
             system: KvSystem::Rfp,
-            workload_b: true,
+            workload: KvWorkload::MixB,
             clients: 2,
             records: 300,
             ops_per_client: 10,
+            shards: 2,
+            commit_cost_ns: None,
         });
         assert!(p.throughput_ops_s > 0.0);
+        assert_eq!(p.shard_stats.len(), 2);
+    }
+
+    #[test]
+    fn write_heavy_point_runs_unsharded() {
+        let p = run_ycsb(&YcsbConfig {
+            system: KvSystem::HatRpcFunction,
+            workload: KvWorkload::WriteHeavy,
+            clients: 2,
+            records: 300,
+            ops_per_client: 10,
+            shards: 1,
+            commit_cost_ns: None,
+        });
+        assert!(p.throughput_ops_s > 0.0);
+        assert_eq!(p.shard_stats.len(), 1);
     }
 
     #[test]

@@ -171,6 +171,11 @@ struct FnPlan {
     /// Resolved `queue_depth` hint, already vetted against the selected
     /// protocol (forced to 1 when pipelining is unavailable).
     queue_depth: u32,
+    /// Resolved server-side `shards` hint: how many backend storage
+    /// partitions the service asked for (1 = unsharded). Purely a
+    /// server-side deployment knob — it never changes the wire protocol,
+    /// so it is not part of [`ChannelKey`].
+    shards: u32,
     key: ChannelKey,
 }
 
@@ -179,6 +184,10 @@ const ENGINE_RING_SLOTS: usize = 16;
 /// Upper bound on the `queue_depth` hint: every in-flight slot pins ring
 /// memory on both peers, so a runaway hint must not exhaust the MR budget.
 const MAX_QUEUE_DEPTH: u32 = 1024;
+/// Upper bound on the `shards` hint: each backend shard pins a reader
+/// table and (when persistent) a WAL handle, so a runaway hint must not
+/// exhaust them. Mirrors `hat_kvdb::sharded::MAX_SHARDS`.
+const MAX_BACKEND_SHARDS: u32 = 64;
 /// The Hybrid-EagerRNDV threshold (paper §4.3: 4 KB).
 const ENGINE_EAGER_THRESHOLD: usize = 4096;
 /// Floor for channel buffer sizing.
@@ -220,6 +229,10 @@ fn plan_for(schema: &ServiceSchema, func: &str, bounds: &SubscriptionBounds) -> 
         max_msg,
         numa_bind: client.numa_binding.unwrap_or(false),
         queue_depth,
+        // Backend partitioning is negotiated from the *server* side of the
+        // hint resolution — it describes the service's storage, which the
+        // client cannot observe on the wire.
+        shards: server.shards.map(|s| s.min(MAX_BACKEND_SHARDS)).unwrap_or(1),
         key: ChannelKey {
             kind: selection.protocol,
             poll: selection.poll,
@@ -363,6 +376,14 @@ impl HatClient {
     /// and the repro harness).
     pub fn selection_for(&self, func: &str) -> Selection {
         self.plans.get(func).unwrap_or(&self.default_plan).selection
+    }
+
+    /// The resolved server-side `shards` hint for `func` (1 = unsharded),
+    /// already clamped to the engine's backend-shard ceiling. Servers use
+    /// this to size their storage partitioning; clients may use it to
+    /// pre-group batched keys.
+    pub fn shards_for(&self, func: &str) -> u32 {
+        self.plans.get(func).unwrap_or(&self.default_plan).shards
     }
 
     /// Number of distinct channels currently open.
@@ -1234,6 +1255,72 @@ mod tests {
     }
 
     #[test]
+    fn simple_policy_blocks_the_accept_thread_while_serving() {
+        // The documented Simple-policy hazard: one connected client pins
+        // the accept thread, so a second client cannot even negotiate
+        // until the first disconnects.
+        let (fabric, _snode, server, schema) = setup(ServerPolicy::Simple);
+        let anode = fabric.add_node("client-a");
+        let mut client_a = HatClient::new(&fabric, &anode, "mix", &schema);
+        assert_eq!(client_a.call("fast", b"pin").unwrap(), b"pin");
+        // client_a stays connected: serve_connection keeps the accept
+        // thread until it disconnects.
+
+        let bnode = fabric.add_node("client-b");
+        let short = CallPolicy {
+            deadline: std::time::Duration::from_millis(200),
+            retries: 0,
+            ..CallPolicy::default()
+        };
+        let mut client_b = HatClient::new(&fabric, &bnode, "mix", &schema).with_policy(short);
+        let starved = client_b.call("fast", b"starved");
+        assert!(
+            starved.is_err(),
+            "a second client must time out while the accept thread is pinned: {starved:?}"
+        );
+
+        // Once the first client disconnects, the accept thread frees up
+        // and a fresh client is served normally.
+        drop(client_a);
+        drop(client_b);
+        let cnode = fabric.add_node("client-c");
+        let mut client_c = HatClient::new(&fabric, &cnode, "mix", &schema);
+        assert_eq!(client_c.call("fast", b"after").unwrap(), b"after");
+        drop(client_c);
+        server.shutdown();
+    }
+
+    #[test]
+    fn thread_pool_policy_progresses_while_one_connection_stalls() {
+        // A pool of two workers with one worker pinned by a long-lived
+        // connection: every later short-lived client must still be served
+        // through the remaining worker.
+        let (fabric, _snode, server, schema) = setup(ServerPolicy::ThreadPool(2));
+        let anode = fabric.add_node("client-a");
+        let mut pinned = HatClient::new(&fabric, &anode, "mix", &schema);
+        assert_eq!(pinned.call("fast", b"hold").unwrap(), b"hold");
+        // `pinned` stays connected, occupying one pool worker for the
+        // rest of the test.
+
+        for i in 0..3u8 {
+            let cnode = fabric.add_node(&format!("client-{i}"));
+            let mut client = HatClient::new(&fabric, &cnode, "mix", &schema);
+            assert_eq!(
+                client.call("fast", &[i; 24]).unwrap(),
+                [i; 24],
+                "client {i} must progress through the free worker"
+            );
+            // Disconnect so the worker is free for the next client.
+            drop(client);
+        }
+
+        // The stalled connection is still live the whole time.
+        assert_eq!(pinned.call("fast", b"still here").unwrap(), b"still here");
+        drop(pinned);
+        server.shutdown();
+    }
+
+    #[test]
     fn thread_pool_policy_serves_multiple_clients() {
         let (fabric, _snode, server, schema) = setup(ServerPolicy::ThreadPool(2));
         let mut handles = Vec::new();
@@ -1359,6 +1446,69 @@ mod tests {
             Err(e) => assert!(e.to_string().contains("queue_depth"), "unexpected error: {e}"),
             Ok(_) => panic!("unhinted function must not expose a window"),
         }
+        drop(client);
+        server.shutdown();
+    }
+
+    /// A service declaring backend sharding at service scope with one
+    /// function-scope override and one oversized request.
+    const SHARDED_IDL: &str = r#"
+        service Store {
+            s_hint: shards = 4;
+            binary get(1: binary k) [ hint: payload_size = 512; ]
+            binary put(1: binary k) [ s_hint: shards = 8; ]
+            binary greedy(1: binary k) [ s_hint: shards = 4096; ]
+        }
+    "#;
+
+    #[test]
+    fn shards_hint_resolves_server_side_into_the_plan() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let cnode = fabric.add_node("client");
+        let schema = ServiceSchema::parse(SHARDED_IDL, "Store").unwrap();
+        let client = HatClient::new(&fabric, &cnode, "store", &schema);
+        assert_eq!(client.shards_for("get"), 4, "service-level hint applies to every function");
+        assert_eq!(client.shards_for("put"), 8, "function-level hint overrides the service");
+        assert_eq!(
+            client.shards_for("greedy"),
+            MAX_BACKEND_SHARDS,
+            "runaway hints clamp to the backend ceiling"
+        );
+        assert_eq!(
+            client.shards_for("unknown"),
+            4,
+            "functions outside the schema inherit the service-level hint"
+        );
+        let plain = ServiceSchema::unhinted("Plain");
+        let unhinted = HatClient::new(&fabric, &cnode, "plain", &plain);
+        assert_eq!(unhinted.shards_for("get"), 1, "no hint anywhere means unsharded");
+
+        // The hint is server-side only: the client-side resolution of the
+        // same schema must not see it.
+        let resolved = schema.resolved("get", Side::Client);
+        assert_eq!(resolved.shards, None, "s_hint is invisible to the client side");
+    }
+
+    #[test]
+    fn shards_do_not_split_channels() {
+        // Sharding is a storage-layout knob, not a wire-protocol one: two
+        // functions differing only in `shards` must share a channel key.
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let schema = ServiceSchema::parse(SHARDED_IDL, "Store").unwrap();
+        let server = HatServer::serve(
+            &fabric,
+            &snode,
+            "store",
+            schema.clone(),
+            ServerPolicy::Threaded,
+            echo_factory(),
+        );
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "store", &schema);
+        client.call("put", b"a").unwrap();
+        client.call("greedy", b"b").unwrap();
+        assert_eq!(client.open_channels(), 1, "shards=8 and shards=64 share one channel");
         drop(client);
         server.shutdown();
     }

@@ -3,9 +3,12 @@
 // each RPC carries payload-size hints sized to the YCSB geometry (24 B
 // keys, 10 x 100 B fields, batch 10), and PUT-class functions use lateral
 // hints because the client ships ~1-10 KB while the server replies with a
-// tiny ack.
+// tiny ack. The server-side `shards` hint partitions the storage backend
+// into independent per-writer-lock shards (PUTs to different shards never
+// serialize); it is invisible on the wire, so only the server consumes it.
 service HatKV {
     hint: concurrency = 128, perf_goal = throughput;
+    s_hint: shards = 4;
     binary get(1: binary key) [ hint: payload_size = 2K; ]
     void put(1: binary key, 2: binary value) [ c_hint: payload_size = 2K; s_hint: payload_size = 64; ]
     list<binary> multiget(1: list<binary> keys) [ hint: payload_size = 16K; ]

@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use hat_kvdb::Database;
+use hat_kvdb::ShardedDb;
 use hat_protocols::{accept_server, connect_client, ProtocolConfig, ProtocolKind, RpcClient};
 use hat_rdma_sim::{Fabric, Node};
 use hatrpc_core::dispatch::{decode_reply, encode_call};
@@ -83,7 +83,7 @@ impl ComparatorServer {
         service: &str,
         kind: ProtocolKind,
         cfg: ProtocolConfig,
-        db: Database,
+        db: ShardedDb,
     ) -> ComparatorServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let listener = fabric.listen(node, service, Default::default());
@@ -298,8 +298,8 @@ mod tests {
     use hat_kvdb::{DbConfig, SyncMode};
     use hat_rdma_sim::SimConfig;
 
-    fn db() -> Database {
-        Database::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() })
+    fn db() -> ShardedDb {
+        ShardedDb::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() }, 4)
     }
 
     #[test]

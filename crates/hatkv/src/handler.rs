@@ -1,30 +1,75 @@
 //! The HatKV service handler over the embedded store, with hint-driven
-//! backend tuning.
+//! backend tuning and hash-sharded write fan-out.
+
+use std::sync::Arc;
 
 use hat_idl::hints::{PerfGoal, Side};
-use hat_kvdb::{Database, DbConfig, SyncMode};
+use hat_kvdb::{DbConfig, ShardedDb, SyncMode};
+use hat_rdma_sim::{Node, NodeStats};
 use hatrpc_core::error::{CoreError, Result};
 use hatrpc_core::service::ServiceSchema;
 
 use crate::generated::HatKVHandler;
 
-/// Implements the generated [`HatKVHandler`] trait over [`hat_kvdb`].
+/// Publishes the storage backend's counters into a node's [`NodeStats`]
+/// (`kv_txns`, `kv_writer_wait_ns`, `kv_bytes_written`) so `repro stats`
+/// surfaces them next to the RDMA counters.
 ///
-/// Cheap to clone (the database handle is shared); the server creates one
-/// per connection.
+/// The backend keeps cumulative totals; this mirror tracks the last
+/// published values so concurrent handler clones sharing one mirror never
+/// double-count.
+#[derive(Debug)]
+pub struct StatsMirror {
+    node: Arc<Node>,
+    /// Last published (commits, writer_wait_ns, bytes_written).
+    last: parking_lot::Mutex<(u64, u64, u64)>,
+}
+
+impl StatsMirror {
+    /// Mirror backend counters into `node`'s stats.
+    pub fn new(node: Arc<Node>) -> Arc<StatsMirror> {
+        Arc::new(StatsMirror { node, last: parking_lot::Mutex::new((0, 0, 0)) })
+    }
+
+    /// Publish the delta since the previous call.
+    fn publish(&self, db: &ShardedDb) {
+        let agg = db.stats();
+        let now = (agg.commits, agg.writer_wait_ns, agg.bytes_written);
+        let mut last = self.last.lock();
+        let stats = self.node.stats();
+        NodeStats::add(&stats.kv_txns, now.0.saturating_sub(last.0));
+        NodeStats::add(&stats.kv_writer_wait_ns, now.1.saturating_sub(last.1));
+        NodeStats::add(&stats.kv_bytes_written, now.2.saturating_sub(last.2));
+        *last = now;
+    }
+}
+
+/// Implements the generated [`HatKVHandler`] trait over a hash-sharded
+/// [`hat_kvdb`] backend.
+///
+/// Cheap to clone (the shard set and mirror are shared); the server
+/// creates one per connection.
 #[derive(Clone, Debug)]
 pub struct KvStoreHandler {
-    db: Database,
+    db: ShardedDb,
+    mirror: Option<Arc<StatsMirror>>,
 }
 
 impl KvStoreHandler {
-    /// Wrap a database.
-    pub fn new(db: Database) -> KvStoreHandler {
-        KvStoreHandler { db }
+    /// Wrap a (possibly sharded) database.
+    pub fn new(db: ShardedDb) -> KvStoreHandler {
+        KvStoreHandler { db, mirror: None }
     }
 
-    /// The underlying database handle.
-    pub fn db(&self) -> &Database {
+    /// Mirror backend counters into a node's [`NodeStats`] after every
+    /// write-class RPC.
+    pub fn with_mirror(mut self, mirror: Arc<StatsMirror>) -> KvStoreHandler {
+        self.mirror = Some(mirror);
+        self
+    }
+
+    /// The underlying sharded database handle.
+    pub fn db(&self) -> &ShardedDb {
         &self.db
     }
 
@@ -38,6 +83,10 @@ impl KvStoreHandler {
     ///   throughput-oriented services keep storage flushing off the
     ///   communication critical path (`NoSync`, as the paper's tmpfs
     ///   deployment does); `res_util` keeps the safer async flush.
+    ///
+    /// The `shards` hint is structural (it fixes the number of writer
+    /// locks and WAL files at construction), so it is consumed where the
+    /// backend is built — see `HatKvServer::start` — not here.
     pub fn apply_hints(&self, schema: &ServiceSchema) {
         let hints = schema.resolved("", Side::Server);
         let mut cfg: DbConfig = self.db.config();
@@ -50,6 +99,12 @@ impl KvStoreHandler {
             None => cfg.sync_mode,
         };
         self.db.reconfigure(cfg);
+    }
+
+    fn published(&self) {
+        if let Some(m) = &self.mirror {
+            m.publish(&self.db);
+        }
     }
 }
 
@@ -64,6 +119,7 @@ impl HatKVHandler for KvStoreHandler {
 
     fn put(&mut self, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
         self.db.put(&key, &value);
+        self.published();
         Ok(())
     }
 
@@ -81,12 +137,11 @@ impl HatKVHandler for KvStoreHandler {
                 values.len()
             )));
         }
-        let mut txn =
-            self.db.begin_write().map_err(|e| CoreError::Application(format!("kvdb: {e}")))?;
-        for (k, v) in keys.iter().zip(&values) {
-            txn.put(k, v);
-        }
-        txn.commit();
+        // Fan out per shard: keys are grouped by their owning shard and
+        // committed with one backend transaction per shard touched —
+        // all-or-nothing within a shard, concurrent across shards.
+        self.db.multi_put(keys.into_iter().zip(values));
+        self.published();
         Ok(())
     }
 }
@@ -97,10 +152,10 @@ mod tests {
     use hat_kvdb::DbConfig;
 
     fn handler() -> KvStoreHandler {
-        KvStoreHandler::new(Database::new(DbConfig {
-            sync_mode: SyncMode::NoSync,
-            ..Default::default()
-        }))
+        KvStoreHandler::new(ShardedDb::new(
+            DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() },
+            4,
+        ))
     }
 
     #[test]
@@ -122,6 +177,18 @@ mod tests {
     }
 
     #[test]
+    fn multiput_fans_out_one_txn_per_shard_touched() {
+        let mut h = handler();
+        let keys: Vec<Vec<u8>> = (0..40u8).map(|i| vec![b'k', i]).collect();
+        let values: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; 16]).collect();
+        let shards_touched: std::collections::BTreeSet<_> =
+            keys.iter().map(|k| h.db().shard_of(k)).collect();
+        h.multiput(keys, values).unwrap();
+        let commits: u64 = h.db().shard_stats().iter().map(|s| s.commits).sum();
+        assert_eq!(commits, shards_touched.len() as u64);
+    }
+
+    #[test]
     fn multiput_arity_mismatch_rejected() {
         let mut h = handler();
         let err = h.multiput(vec![b"a".to_vec()], vec![]).unwrap_err();
@@ -140,13 +207,38 @@ mod tests {
 
     #[test]
     fn unhinted_schema_leaves_config_alone() {
-        let h = KvStoreHandler::new(Database::new(DbConfig {
-            max_readers: 10,
-            sync_mode: SyncMode::Sync,
-        }));
+        let h = KvStoreHandler::new(ShardedDb::new(
+            DbConfig { max_readers: 10, sync_mode: SyncMode::Sync, ..Default::default() },
+            1,
+        ));
         h.apply_hints(&hatrpc_core::service::ServiceSchema::unhinted("Plain"));
         let cfg = h.db().config();
         assert_eq!(cfg.max_readers, 10);
         assert_eq!(cfg.sync_mode, SyncMode::Sync);
+    }
+
+    #[test]
+    fn mirror_publishes_backend_deltas_without_double_counting() {
+        use hat_rdma_sim::{Fabric, SimConfig};
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let node = fabric.add_node("kv");
+        let mirror = StatsMirror::new(node.clone());
+        let mut h1 = handler().with_mirror(mirror.clone());
+        let mut h2 = KvStoreHandler::new(h1.db().clone()).with_mirror(mirror);
+
+        h1.put(b"a".to_vec(), vec![0; 100]).unwrap();
+        h2.put(b"b".to_vec(), vec![0; 50]).unwrap();
+        let snap = node.stats_snapshot();
+        assert_eq!(snap.kv_txns, 2, "one commit per put, counted once: {snap:?}");
+        assert_eq!(snap.kv_bytes_written, 152, "keys + values, counted once");
+
+        h1.multiput(
+            (0..10u8).map(|i| vec![b'm', i]).collect(),
+            (0..10u8).map(|i| vec![i; 10]).collect(),
+        )
+        .unwrap();
+        let snap2 = node.stats_snapshot();
+        assert!(snap2.kv_txns > 2, "multiput adds per-shard txns");
+        assert_eq!(snap2.kv_bytes_written, 152 + 10 * 12);
     }
 }

@@ -67,5 +67,8 @@ mod tests {
         assert_eq!(get.payload_size, Some(2048));
         let put_s = schema.resolved("put", Side::Server);
         assert_eq!(put_s.payload_size, Some(64), "server acks are tiny");
+        assert_eq!(put_s.shards, Some(4), "service-level s_hint reaches every function");
+        assert_eq!(schema.resolved("", Side::Server).shards, Some(4));
+        assert_eq!(get.shards, None, "shards is a server-side hint only");
     }
 }

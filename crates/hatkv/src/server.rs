@@ -2,13 +2,14 @@
 
 use std::sync::Arc;
 
-use hat_kvdb::Database;
+use hat_idl::hints::Side;
+use hat_kvdb::{DbConfig, ShardedDb};
 use hat_rdma_sim::{Fabric, Node};
 use hatrpc_core::engine::{HatServer, ServerPolicy};
 use hatrpc_core::service::ServiceSchema;
 
 use crate::generated::{hat_k_v_schema, HatKVProcessor};
-use crate::handler::KvStoreHandler;
+use crate::handler::{KvStoreHandler, StatsMirror};
 
 /// Which hint configuration a HatKV deployment uses (paper §5.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,41 +31,66 @@ pub fn service_only_schema() -> ServiceSchema {
     schema
 }
 
+/// The shard count a schema's server-side hints ask for (1 when the
+/// `shards` hint is absent). Clamping to the backend ceiling happens in
+/// [`ShardedDb::new`].
+pub fn hinted_shards(schema: &ServiceSchema) -> u32 {
+    schema.resolved("", Side::Server).shards.unwrap_or(1)
+}
+
 /// A running HatKV server.
 pub struct HatKvServer {
     server: HatServer,
-    db: Database,
+    db: ShardedDb,
     schema: ServiceSchema,
 }
 
 impl HatKvServer {
     /// Start serving on `node` under `service`, with the hint variant
-    /// selecting the schema. Backend knobs are hint-tuned at startup.
+    /// selecting the schema. The storage backend is constructed from the
+    /// negotiated hints: the `shards` hint fixes the partition count, the
+    /// rest tune the per-shard knobs at startup.
     pub fn start(
         fabric: &Fabric,
         node: &Arc<Node>,
         service: &str,
         variant: KvVariant,
-        db: Database,
+        config: DbConfig,
     ) -> HatKvServer {
         let schema = match variant {
             KvVariant::ServiceHints => service_only_schema(),
             KvVariant::FunctionHints => hat_k_v_schema(),
         };
-        Self::start_with_schema(fabric, node, service, schema, db)
+        Self::start_with_schema(fabric, node, service, schema, config)
     }
 
     /// Like [`HatKvServer::start`] with an explicit (possibly retuned)
-    /// schema — benchmarks adjust the service-level concurrency hint to
-    /// the actual deployment size.
+    /// schema — benchmarks adjust the service-level concurrency and
+    /// shards hints to the actual deployment size.
     pub fn start_with_schema(
         fabric: &Fabric,
         node: &Arc<Node>,
         service: &str,
         schema: ServiceSchema,
-        db: Database,
+        config: DbConfig,
     ) -> HatKvServer {
-        let handler = KvStoreHandler::new(db.clone());
+        let db = ShardedDb::new(config, hinted_shards(&schema));
+        Self::start_with_db(fabric, node, service, schema, db)
+    }
+
+    /// Like [`HatKvServer::start_with_schema`] with an already-built
+    /// backend — for sharing a store across deployments or supplying a
+    /// persistent ([`ShardedDb::open`]) one. The backend's shard count
+    /// wins over whatever the schema hints say.
+    pub fn start_with_db(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        schema: ServiceSchema,
+        db: ShardedDb,
+    ) -> HatKvServer {
+        let mirror = StatsMirror::new(node.clone());
+        let handler = KvStoreHandler::new(db.clone()).with_mirror(mirror);
         handler.apply_hints(&schema);
         let factory_handler = handler.clone();
         let server = HatServer::serve(
@@ -86,8 +112,8 @@ impl HatKvServer {
         &self.schema
     }
 
-    /// The shared database handle (for preloading in benchmarks).
-    pub fn db(&self) -> &Database {
+    /// The shared sharded database handle (for preloading in benchmarks).
+    pub fn db(&self) -> &ShardedDb {
         &self.db
     }
 
@@ -101,19 +127,19 @@ impl HatKvServer {
 mod tests {
     use super::*;
     use crate::generated::HatKVClient;
-    use hat_kvdb::{DbConfig, SyncMode};
+    use hat_kvdb::SyncMode;
     use hat_rdma_sim::SimConfig;
     use hatrpc_core::engine::HatClient;
 
-    fn db() -> Database {
-        Database::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() })
+    fn cfg() -> DbConfig {
+        DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() }
     }
 
     #[test]
     fn end_to_end_kv_rpc_with_function_hints() {
         let fabric = Fabric::new(SimConfig::fast_test());
         let snode = fabric.add_node("server");
-        let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::FunctionHints, db());
+        let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::FunctionHints, cfg());
 
         let cnode = fabric.add_node("client");
         let mut client = HatKVClient::connect(&fabric, &cnode, "hatkv");
@@ -132,7 +158,7 @@ mod tests {
     fn end_to_end_with_service_hints_only() {
         let fabric = Fabric::new(SimConfig::fast_test());
         let snode = fabric.add_node("server");
-        let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::ServiceHints, db());
+        let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::ServiceHints, cfg());
         let schema = server.schema().clone();
         assert!(schema.functions.iter().all(|(_, h)| h.is_empty()), "function hints stripped");
 
@@ -147,7 +173,7 @@ mod tests {
     fn function_variant_isolates_channels_per_hint_plan() {
         let fabric = Fabric::new(SimConfig::fast_test());
         let snode = fabric.add_node("server");
-        let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::FunctionHints, db());
+        let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::FunctionHints, cfg());
         let cnode = fabric.add_node("client");
         let mut client = HatKVClient::connect(&fabric, &cnode, "hatkv");
         client.get(b"a".to_vec()).unwrap();
@@ -155,6 +181,47 @@ mod tests {
         // get (2K) and multiget (16K) have different payload hints →
         // distinct channels (optimization isolation).
         assert!(client.engine().open_channels() >= 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shards_hint_sizes_the_backend() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        // The generated IDL carries `s_hint: shards = 4` at service scope,
+        // so both variants (service hints survive the function-stripping)
+        // deploy a 4-way sharded backend.
+        for variant in [KvVariant::FunctionHints, KvVariant::ServiceHints] {
+            let service = format!("hatkv-{variant:?}");
+            let server = HatKvServer::start(&fabric, &snode, &service, variant, cfg());
+            assert_eq!(server.db().shard_count(), 4, "{variant:?}");
+            server.shutdown();
+        }
+        // An unhinted schema falls back to a single shard.
+        let schema = hatrpc_core::service::ServiceSchema::unhinted("Plain");
+        assert_eq!(hinted_shards(&schema), 1);
+        let server = HatKvServer::start_with_schema(&fabric, &snode, "plainkv", schema, cfg());
+        assert_eq!(server.db().shard_count(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn served_writes_mirror_into_node_stats() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::FunctionHints, cfg());
+        let cnode = fabric.add_node("client");
+        let mut client = HatKVClient::connect(&fabric, &cnode, "hatkv");
+        client.put(b"k".to_vec(), vec![1u8; 64]).unwrap();
+        client
+            .multiput(
+                (0..10u8).map(|i| vec![b'k', i]).collect(),
+                (0..10u8).map(|i| vec![i; 64]).collect(),
+            )
+            .unwrap();
+        let snap = snode.stats_snapshot();
+        assert!(snap.kv_txns >= 2, "put + multiput committed: {snap:?}");
+        assert!(snap.kv_bytes_written >= 64 + 10 * 66, "payload bytes accounted: {snap:?}");
         server.shutdown();
     }
 }

@@ -15,6 +15,7 @@
 //! | `transport` | `rdma`, `tcp` | hybrid transports (§5.5) |
 //! | `priority` | `high`, `low` | de-prioritize heartbeat-class functions |
 //! | `queue_depth` | positive integer | pipelined in-flight request window |
+//! | `shards` | positive integer | backend storage partitions (server side) |
 //!
 //! Unknown keys or malformed values are *filtered out* during validation
 //! and reported as warnings — exactly the paper's check/merge pass — so a
@@ -173,6 +174,9 @@ pub struct HintSet {
     pub priority: Option<PriorityHint>,
     /// `queue_depth` (pipelined in-flight request window; 1 = synchronous).
     pub queue_depth: Option<u32>,
+    /// `shards` (backend storage partitions; 1 = unsharded). Server-side:
+    /// it sizes the service's storage backend, not the wire protocol.
+    pub shards: Option<u32>,
 }
 
 /// A non-fatal validation complaint (unknown key / bad value).
@@ -260,6 +264,10 @@ impl HintSet {
                     Ok(n) if n > 0 => set.queue_depth = Some(n),
                     _ => warn("expected a positive integer"),
                 },
+                "shards" => match value.parse::<u32>() {
+                    Ok(n) if n > 0 => set.shards = Some(n),
+                    _ => warn("expected a positive integer"),
+                },
                 _ => warn("unknown hint key"),
             }
         }
@@ -284,6 +292,7 @@ impl HintSet {
             transport: other.transport.or(self.transport),
             priority: other.priority.or(self.priority),
             queue_depth: other.queue_depth.or(self.queue_depth),
+            shards: other.shards.or(self.shards),
         }
     }
 }
@@ -403,6 +412,7 @@ mod tests {
                 ("transport", "tcp"),
                 ("priority", "low"),
                 ("queue_depth", "8"),
+                ("shards", "4"),
             ],
             &mut warnings,
         );
@@ -415,6 +425,7 @@ mod tests {
         assert_eq!(set.transport, Some(TransportHint::Tcp));
         assert_eq!(set.priority, Some(PriorityHint::Low));
         assert_eq!(set.queue_depth, Some(8));
+        assert_eq!(set.shards, Some(4));
     }
 
     #[test]
@@ -422,6 +433,14 @@ mod tests {
         let mut warnings = Vec::new();
         let set = HintSet::from_raw([("queue_depth", "0"), ("queue_depth", "-4")], &mut warnings);
         assert_eq!(set.queue_depth, None);
+        assert_eq!(warnings.len(), 2);
+    }
+
+    #[test]
+    fn shards_rejects_non_positive_values() {
+        let mut warnings = Vec::new();
+        let set = HintSet::from_raw([("shards", "0"), ("shards", "lots")], &mut warnings);
+        assert_eq!(set.shards, None);
         assert_eq!(warnings.len(), 2);
     }
 

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod cursor;
+pub mod sharded;
 pub mod tree;
 pub mod wal;
 
@@ -42,6 +43,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+pub use sharded::{ShardedDb, ShardedReadTxn};
 use tree::Node;
 use wal::{Wal, WalOp};
 
@@ -77,11 +79,16 @@ pub struct DbConfig {
     pub max_readers: u32,
     /// Commit durability.
     pub sync_mode: SyncMode,
+    /// Override for the modeled in-memory commit stall, in nanoseconds.
+    /// `None` uses [`SyncMode::commit_cost_ns`]. Benchmarks set this to
+    /// emulate slower storage tiers; persistent (WAL-backed) databases
+    /// always pay their real I/O cost instead.
+    pub commit_cost_ns: Option<u64>,
 }
 
 impl Default for DbConfig {
     fn default() -> Self {
-        DbConfig { max_readers: 126, sync_mode: SyncMode::default() }
+        DbConfig { max_readers: 126, sync_mode: SyncMode::default(), commit_cost_ns: None }
     }
 }
 
@@ -117,6 +124,12 @@ pub struct DbStats {
     pub dels: AtomicU64,
     /// Simulated fsync nanoseconds paid at commit.
     pub sync_ns: AtomicU64,
+    /// Nanoseconds spent waiting for the writer lock in
+    /// [`Database::begin_write`] — the write-serialization cost that
+    /// sharding exists to attack.
+    pub writer_wait_ns: AtomicU64,
+    /// Key + value bytes written through committed-or-not `put` calls.
+    pub bytes_written: AtomicU64,
 }
 
 /// Plain-data snapshot of [`DbStats`].
@@ -128,6 +141,26 @@ pub struct DbStatsSnapshot {
     pub puts: u64,
     pub dels: u64,
     pub sync_ns: u64,
+    pub writer_wait_ns: u64,
+    pub bytes_written: u64,
+}
+
+/// Field-wise sum — how [`ShardedDb::stats`] aggregates its shards.
+impl std::ops::Add for DbStatsSnapshot {
+    type Output = DbStatsSnapshot;
+
+    fn add(self, rhs: DbStatsSnapshot) -> DbStatsSnapshot {
+        DbStatsSnapshot {
+            commits: self.commits + rhs.commits,
+            aborts: self.aborts + rhs.aborts,
+            gets: self.gets + rhs.gets,
+            puts: self.puts + rhs.puts,
+            dels: self.dels + rhs.dels,
+            sync_ns: self.sync_ns + rhs.sync_ns,
+            writer_wait_ns: self.writer_wait_ns + rhs.writer_wait_ns,
+            bytes_written: self.bytes_written + rhs.bytes_written,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -232,6 +265,8 @@ impl Database {
             puts: s.puts.load(Ordering::Relaxed),
             dels: s.dels.load(Ordering::Relaxed),
             sync_ns: s.sync_ns.load(Ordering::Relaxed),
+            writer_wait_ns: s.writer_wait_ns.load(Ordering::Relaxed),
+            bytes_written: s.bytes_written.load(Ordering::Relaxed),
         }
     }
 
@@ -257,9 +292,15 @@ impl Database {
     }
 
     /// Open the (single) write transaction; blocks while another writer
-    /// is active.
+    /// is active. Time spent blocked is charged to
+    /// [`DbStats::writer_wait_ns`].
     pub fn begin_write(&self) -> Result<WriteTxn<'_>, KvError> {
+        let t0 = std::time::Instant::now();
         let guard = self.inner.writer.lock();
+        self.inner
+            .stats
+            .writer_wait_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let root = self.inner.root.read().clone();
         Ok(WriteTxn { db: self, root, _guard: guard, dirty: false, log: Vec::new() })
     }
@@ -328,6 +369,11 @@ impl WriteTxn<'_> {
     /// Insert or replace a key.
     pub fn put(&mut self, key: &[u8], value: &[u8]) {
         self.db.inner.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.db
+            .inner
+            .stats
+            .bytes_written
+            .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
         tree::insert(&mut self.root, key, value);
         if self.db.inner.wal.lock().is_some() {
             self.log.push(WalOp::Put(key.to_vec(), value.to_vec()));
@@ -355,7 +401,10 @@ impl WriteTxn<'_> {
     /// real WAL appends/flushes for persistent databases, a calibrated
     /// stall for in-memory ones.
     pub fn commit(self) {
-        let sync = self.db.inner.config.read().sync_mode;
+        let (sync, cost_override) = {
+            let cfg = self.db.inner.config.read();
+            (cfg.sync_mode, cfg.commit_cost_ns)
+        };
         let mut wal = self.db.inner.wal.lock();
         match wal.as_mut() {
             Some(wal) if !self.log.is_empty() => {
@@ -368,7 +417,7 @@ impl WriteTxn<'_> {
                     .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
             _ => {
-                let cost = sync.commit_cost_ns();
+                let cost = cost_override.unwrap_or_else(|| sync.commit_cost_ns());
                 if self.dirty && cost > 0 {
                     // Model the fsync stall.
                     let start = std::time::Instant::now();
@@ -451,8 +500,16 @@ mod tests {
 
     #[test]
     fn reconfigure_applies_at_runtime() {
-        let db = Database::new(DbConfig { max_readers: 1, sync_mode: SyncMode::NoSync });
-        db.reconfigure(DbConfig { max_readers: 64, sync_mode: SyncMode::Sync });
+        let db = Database::new(DbConfig {
+            max_readers: 1,
+            sync_mode: SyncMode::NoSync,
+            ..Default::default()
+        });
+        db.reconfigure(DbConfig {
+            max_readers: 64,
+            sync_mode: SyncMode::Sync,
+            ..Default::default()
+        });
         assert_eq!(db.config().max_readers, 64);
         db.put(b"x", b"y");
         assert!(db.stats().sync_ns >= SyncMode::Sync.commit_cost_ns());

@@ -1,0 +1,382 @@
+//! Hash-partitioned storage: N independent [`Database`] shards behind one
+//! facade.
+//!
+//! Every key lives in exactly one shard, chosen by an FNV-1a hash of the
+//! key bytes modulo the shard count — so each shard keeps its own writer
+//! lock, WAL, and statistics, and writes to different shards never
+//! serialize on one another. The facade preserves the single-database
+//! surface where it can:
+//!
+//! * [`ShardedDb::get`]/[`ShardedDb::put`]/[`ShardedDb::del`] route to the
+//!   owning shard;
+//! * [`ShardedDb::begin_read`] takes one snapshot *per shard*; point
+//!   lookups route, and [`ShardedReadTxn::range`] merges the per-shard
+//!   cursors back into global key order;
+//! * [`ShardedDb::multi_put`] groups a batch by shard and commits **one
+//!   write transaction per shard touched** — all-or-nothing within a
+//!   shard, but *not* across shards (the deliberate trade documented in
+//!   DESIGN.md §4f: a reader with an older snapshot of shard A and a
+//!   newer one of shard B can observe a cross-shard batch half-applied,
+//!   never a half-applied shard).
+//!
+//! Persistent sharded databases ([`ShardedDb::open`]) keep one WAL file
+//! per shard in a directory. The shard count is part of the on-disk
+//! layout: reopening must use the same count, or keys recover into shards
+//! the hash no longer routes to.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::cursor::Cursor;
+use crate::{Database, DbConfig, DbStatsSnapshot, KvError, ReadTxn};
+
+/// Upper bound on the shard count (each shard pins a reader table and a
+/// WAL handle; a runaway `shards` hint must not exhaust them).
+pub const MAX_SHARDS: u32 = 64;
+
+/// FNV-1a over the key bytes — stable across processes, so persistent
+/// shard routing survives reopen.
+fn fnv1a(key: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut hash = OFFSET;
+    for &b in key {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// N independent [`Database`] shards behind one handle (cheaply
+/// cloneable).
+#[derive(Clone, Debug)]
+pub struct ShardedDb {
+    shards: Arc<Vec<Database>>,
+}
+
+impl ShardedDb {
+    /// Create an in-memory sharded database. `shards` is clamped to
+    /// `1..=`[`MAX_SHARDS`].
+    pub fn new(config: DbConfig, shards: u32) -> ShardedDb {
+        let n = shards.clamp(1, MAX_SHARDS) as usize;
+        ShardedDb { shards: Arc::new((0..n).map(|_| Database::new(config.clone())).collect()) }
+    }
+
+    /// Open (or create) a persistent sharded database: one WAL file per
+    /// shard under `dir`. Reopening must use the same shard count.
+    pub fn open(dir: &Path, config: DbConfig, shards: u32) -> std::io::Result<ShardedDb> {
+        std::fs::create_dir_all(dir)?;
+        let n = shards.clamp(1, MAX_SHARDS) as usize;
+        let mut opened = Vec::with_capacity(n);
+        for i in 0..n {
+            opened.push(Database::open(&Self::wal_path(dir, i), config.clone())?);
+        }
+        Ok(ShardedDb { shards: Arc::new(opened) })
+    }
+
+    /// The WAL file backing shard `i` of a database at `dir`.
+    pub fn wal_path(dir: &Path, shard: usize) -> PathBuf {
+        dir.join(format!("shard-{shard:03}.wal"))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `key`.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        (fnv1a(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Direct handle to shard `i` (tests, per-shard diagnostics).
+    pub fn shard(&self, i: usize) -> &Database {
+        &self.shards[i]
+    }
+
+    /// Current configuration (shards share one; shard 0 is authoritative).
+    pub fn config(&self) -> DbConfig {
+        self.shards[0].config()
+    }
+
+    /// Retune every shard's configuration at runtime.
+    pub fn reconfigure(&self, config: DbConfig) {
+        for shard in self.shards.iter() {
+            shard.reconfigure(config.clone());
+        }
+    }
+
+    /// Live key/value pairs across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Database::len).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Database::is_empty)
+    }
+
+    /// Aggregate statistics (field-wise sum over shards).
+    pub fn stats(&self) -> DbStatsSnapshot {
+        self.shards.iter().map(Database::stats).fold(DbStatsSnapshot::default(), |a, b| a + b)
+    }
+
+    /// Per-shard statistics, in shard order.
+    pub fn shard_stats(&self) -> Vec<DbStatsSnapshot> {
+        self.shards.iter().map(Database::stats).collect()
+    }
+
+    /// Point lookup, routed to the owning shard.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Single-key autocommit write, routed to the owning shard.
+    pub fn put(&self, key: &[u8], value: &[u8]) {
+        self.shards[self.shard_of(key)].put(key, value);
+    }
+
+    /// Single-key autocommit delete; returns whether the key existed.
+    pub fn del(&self, key: &[u8]) -> bool {
+        let mut txn = self.shards[self.shard_of(key)].begin_write().expect("writer lock");
+        let existed = txn.del(key);
+        txn.commit();
+        existed
+    }
+
+    /// Write a batch: group pairs by shard, then one write transaction
+    /// per shard touched. Atomic within each shard, not across shards.
+    pub fn multi_put(&self, pairs: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) {
+        let mut groups: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); self.shards.len()];
+        for (k, v) in pairs {
+            groups[self.shard_of(&k)].push((k, v));
+        }
+        for (shard, group) in self.shards.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let mut txn = shard.begin_write().expect("writer lock");
+            for (k, v) in group {
+                txn.put(k, v);
+            }
+            txn.commit();
+        }
+    }
+
+    /// Batched point lookups under one sharded snapshot.
+    pub fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>, KvError> {
+        let read = self.begin_read()?;
+        Ok(keys.iter().map(|k| read.get(k)).collect())
+    }
+
+    /// Open a read transaction spanning all shards: one snapshot per
+    /// shard, each internally consistent. Fails with
+    /// [`KvError::ReadersFull`] if any shard's reader table is full
+    /// (already-taken snapshots are released).
+    pub fn begin_read(&self) -> Result<ShardedReadTxn, KvError> {
+        let mut txns = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            txns.push(shard.begin_read()?);
+        }
+        Ok(ShardedReadTxn { txns })
+    }
+}
+
+/// A read transaction over every shard: per-shard snapshot isolation
+/// (each shard's view is a single consistent snapshot; the set of
+/// snapshots was not taken atomically across shards).
+#[derive(Debug)]
+pub struct ShardedReadTxn {
+    /// One snapshot per shard, in shard order.
+    txns: Vec<ReadTxn>,
+}
+
+impl ShardedReadTxn {
+    /// Point lookup within the owning shard's snapshot.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let shard = (fnv1a(key) % self.txns.len() as u64) as usize;
+        self.txns[shard].get(key)
+    }
+
+    /// Entries across all shard snapshots.
+    pub fn len(&self) -> usize {
+        self.txns.iter().map(ReadTxn::len).sum()
+    }
+
+    /// True when every shard snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.txns.iter().all(ReadTxn::is_empty)
+    }
+
+    /// Ordered range scan: per-shard cursors merged back into global key
+    /// order (k-way merge; shard counts are small, so a linear min scan
+    /// over peeked heads beats a heap).
+    pub fn range(&self, range: std::ops::Range<Vec<u8>>) -> MergedCursor<'_> {
+        MergedCursor {
+            cursors: self.txns.iter().map(|t| t.range(range.clone()).peekable()).collect(),
+        }
+    }
+}
+
+/// K-way merge over per-shard [`Cursor`]s, yielding global key order.
+pub struct MergedCursor<'a> {
+    cursors: Vec<std::iter::Peekable<Cursor<'a>>>,
+}
+
+impl Iterator for MergedCursor<'_> {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Each key lives in exactly one shard, so ties are impossible and
+        // the minimum peeked head is the unique next entry.
+        let mut best: Option<(usize, Vec<u8>)> = None;
+        for (i, cursor) in self.cursors.iter_mut().enumerate() {
+            let Some((key, _)) = cursor.peek() else { continue };
+            match &best {
+                Some((_, b)) if b <= key => {}
+                _ => best = Some((i, key.clone())),
+            }
+        }
+        self.cursors[best?.0].next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncMode;
+
+    fn db(shards: u32) -> ShardedDb {
+        ShardedDb::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() }, shards)
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let db = db(8);
+        for i in 0..500u32 {
+            let key = format!("key{i}").into_bytes();
+            let s = db.shard_of(&key);
+            assert!(s < 8);
+            assert_eq!(s, db.shard_of(&key), "routing is deterministic");
+        }
+    }
+
+    #[test]
+    fn put_get_del_route_to_owning_shard() {
+        let db = db(4);
+        for i in 0..200u32 {
+            db.put(format!("k{i}").as_bytes(), &i.to_le_bytes());
+        }
+        assert_eq!(db.len(), 200);
+        for i in 0..200u32 {
+            let key = format!("k{i}").into_bytes();
+            assert_eq!(db.get(&key), Some(i.to_le_bytes().to_vec()));
+            // The key is physically in exactly its hash shard.
+            let owner = db.shard_of(&key);
+            for s in 0..4 {
+                assert_eq!(db.shard(s).get(&key).is_some(), s == owner);
+            }
+        }
+        assert!(db.del(b"k17"));
+        assert!(!db.del(b"k17"));
+        assert_eq!(db.get(b"k17"), None);
+        assert_eq!(db.len(), 199);
+    }
+
+    #[test]
+    fn merged_scan_is_globally_ordered() {
+        for shards in [1u32, 2, 8] {
+            let db = db(shards);
+            for i in (0..300u32).rev() {
+                db.put(format!("k{i:05}").as_bytes(), &i.to_le_bytes());
+            }
+            let read = db.begin_read().unwrap();
+            let all: Vec<_> = read.range(vec![]..vec![0xff]).collect();
+            assert_eq!(all.len(), 300, "{shards} shards");
+            assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "{shards} shards: ordered");
+            let bounded: Vec<_> =
+                read.range(b"k00010".to_vec()..b"k00020".to_vec()).map(|(k, _)| k).collect();
+            assert_eq!(bounded.len(), 10);
+            assert_eq!(bounded[0], b"k00010");
+        }
+    }
+
+    #[test]
+    fn multi_put_commits_once_per_shard_touched() {
+        let db = db(4);
+        let pairs: Vec<_> =
+            (0..40u32).map(|i| (format!("k{i}").into_bytes(), vec![i as u8; 10])).collect();
+        let shards_touched: std::collections::BTreeSet<_> =
+            pairs.iter().map(|(k, _)| db.shard_of(k)).collect();
+        db.multi_put(pairs.clone());
+        let commits: u64 = db.shard_stats().iter().map(|s| s.commits).sum();
+        assert_eq!(commits, shards_touched.len() as u64, "one txn per shard touched");
+        for (k, v) in &pairs {
+            assert_eq!(db.get(k).as_deref(), Some(v.as_slice()));
+        }
+    }
+
+    #[test]
+    fn sharded_read_is_a_per_shard_snapshot() {
+        let db = db(4);
+        db.put(b"stable", b"old");
+        let read = db.begin_read().unwrap();
+        db.put(b"stable", b"new");
+        assert_eq!(read.get(b"stable").as_deref(), Some(&b"old"[..]));
+        assert_eq!(db.get(b"stable").as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn readers_full_releases_partial_snapshots() {
+        let db = ShardedDb::new(
+            DbConfig { max_readers: 1, sync_mode: SyncMode::NoSync, ..Default::default() },
+            4,
+        );
+        let r1 = db.begin_read().unwrap();
+        assert_eq!(db.begin_read().unwrap_err(), KvError::ReadersFull);
+        drop(r1);
+        // Had the failed attempt leaked its partial snapshots, shard 0's
+        // single reader slot would still be held here.
+        assert!(db.begin_read().is_ok());
+    }
+
+    #[test]
+    fn stats_aggregate_and_per_shard() {
+        let db = db(2);
+        for i in 0..20u32 {
+            db.put(format!("k{i}").as_bytes(), &[1, 2, 3]);
+        }
+        let agg = db.stats();
+        assert_eq!(agg.puts, 20);
+        assert_eq!(agg.commits, 20);
+        assert!(agg.bytes_written > 0);
+        let per: Vec<_> = db.shard_stats();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per.iter().map(|s| s.puts).sum::<u64>(), 20);
+        assert!(per.iter().all(|s| s.puts > 0), "uniform keys reach both shards");
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(db(0).shard_count(), 1);
+        assert_eq!(ShardedDb::new(DbConfig::default(), 1000).shard_count(), MAX_SHARDS as usize);
+    }
+
+    #[test]
+    fn concurrent_writers_on_distinct_shards_make_progress() {
+        let db = db(8);
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    db.put(format!("w{t}-k{i}").as_bytes(), &i.to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.len(), 800);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the hash-sharded facade: arbitrary operation
+//! sequences against a [`ShardedDb`] must match a single `BTreeMap`
+//! reference exactly (sharding is an implementation detail, not an
+//! observable), merged cursors must yield global key order, and the
+//! observable state must be invariant to the shard count.
+
+use std::collections::BTreeMap;
+
+use hat_kvdb::{DbConfig, ShardedDb, SyncMode};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(Vec<u8>, Vec<u8>),
+    Del(Vec<u8>),
+    Get(Vec<u8>),
+    Scan(Vec<u8>, Vec<u8>),
+    MultiPut(Vec<(Vec<u8>, Vec<u8>)>),
+}
+
+fn key() -> impl Strategy<Value = Vec<u8>> {
+    // A smallish key space forces overwrite/delete collisions and puts
+    // several keys in each shard.
+    prop::collection::vec(0u8..16, 1..6)
+}
+
+fn op() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        (key(), prop::collection::vec(any::<u8>(), 0..24)).prop_map(|(k, v)| KvOp::Put(k, v)),
+        key().prop_map(KvOp::Del),
+        key().prop_map(KvOp::Get),
+        (key(), key()).prop_map(|(a, b)| KvOp::Scan(a, b)),
+        prop::collection::vec((key(), prop::collection::vec(any::<u8>(), 0..24)), 1..12)
+            .prop_map(KvOp::MultiPut),
+    ]
+}
+
+fn db(shards: u32) -> ShardedDb {
+    ShardedDb::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() }, shards)
+}
+
+/// Run one op against the sharded store and the model, asserting that
+/// every observable result agrees.
+fn apply(db: &ShardedDb, model: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &KvOp) {
+    match op {
+        KvOp::Put(k, v) => {
+            db.put(k, v);
+            model.insert(k.clone(), v.clone());
+        }
+        KvOp::Del(k) => {
+            let existed = db.del(k);
+            prop_assert_eq!(existed, model.remove(k).is_some());
+        }
+        KvOp::Get(k) => {
+            prop_assert_eq!(db.get(k), model.get(k).cloned());
+        }
+        KvOp::Scan(a, b) => {
+            let (lo, hi) = if a <= b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+            let read = db.begin_read().unwrap();
+            let got: Vec<_> = read.range(lo.clone()..hi.clone()).collect();
+            let want: Vec<_> = model.range(lo..hi).map(|(k, v)| (k.clone(), v.clone())).collect();
+            prop_assert_eq!(got, want);
+        }
+        KvOp::MultiPut(pairs) => {
+            db.multi_put(pairs.clone());
+            for (k, v) in pairs {
+                model.insert(k.clone(), v.clone());
+            }
+        }
+    }
+}
+
+fn full_scan(db: &ShardedDb) -> Vec<(Vec<u8>, Vec<u8>)> {
+    db.begin_read().unwrap().range(vec![]..vec![0xff; 8]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_store_matches_btreemap_model(
+        ops in prop::collection::vec(op(), 1..250),
+        shards in prop_oneof![Just(1u32), Just(2), Just(8)],
+    ) {
+        let db = db(shards);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            apply(&db, &mut model, op);
+        }
+        prop_assert_eq!(db.len(), model.len());
+        let scanned = full_scan(&db);
+        let expected: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn merged_cursor_is_globally_key_ordered(
+        entries in prop::collection::btree_map(key(), prop::collection::vec(any::<u8>(), 0..8), 0..120),
+        shards in prop_oneof![Just(2u32), Just(8)],
+    ) {
+        let db = db(shards);
+        db.multi_put(entries.iter().map(|(k, v)| (k.clone(), v.clone())));
+        let scanned = full_scan(&db);
+        // Strictly ascending — merged per-shard cursors interleave back
+        // into one ordered stream with no duplicates.
+        for w in scanned.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "out of order: {:?} !< {:?}", w[0].0, w[1].0);
+        }
+        prop_assert_eq!(scanned.len(), entries.len());
+    }
+
+    #[test]
+    fn observable_state_is_invariant_to_shard_count(
+        ops in prop::collection::vec(op(), 1..150),
+    ) {
+        // The same operation sequence against shards=1 and shards=8 must
+        // land in the same observable state: partitioning must never leak
+        // into results.
+        let one = db(1);
+        let eight = db(8);
+        let mut model_one: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut model_eight: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            apply(&one, &mut model_one, op);
+            apply(&eight, &mut model_eight, op);
+        }
+        prop_assert_eq!(full_scan(&one), full_scan(&eight));
+        prop_assert_eq!(one.len(), eight.len());
+    }
+
+    #[test]
+    fn sharded_snapshots_never_observe_later_writes(
+        initial in prop::collection::btree_map(key(), prop::collection::vec(any::<u8>(), 0..16), 1..40),
+        later in prop::collection::vec((key(), prop::collection::vec(any::<u8>(), 0..16)), 1..40),
+    ) {
+        let db = db(8);
+        db.multi_put(initial.iter().map(|(k, v)| (k.clone(), v.clone())));
+        let snapshot = db.begin_read().unwrap();
+        db.multi_put(later.clone());
+        // Every shard's snapshot predates the later writes.
+        let snap: Vec<_> = snapshot.range(vec![]..vec![0xff; 8]).collect();
+        let want: Vec<_> = initial.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(snap, want);
+    }
+}

@@ -1,0 +1,154 @@
+//! WAL crash-recovery tests for the sharded store: truncate a shard's
+//! log at arbitrary byte offsets (a torn tail) after committed batches
+//! and assert recovery replays exactly the committed prefix of that
+//! shard — never a partial batch, and never anything from other shards.
+
+use std::path::{Path, PathBuf};
+
+use hat_kvdb::{DbConfig, ShardedDb, SyncMode};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hatkvdb-sharded-wal-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg() -> DbConfig {
+    // Sync mode: every commit is flushed through to the file before the
+    // commit returns, so recorded file lengths are durable boundaries.
+    DbConfig { sync_mode: SyncMode::Sync, ..Default::default() }
+}
+
+/// Keys `k00..kNN` with a batch-stamped value, committed one batch per
+/// call through the sharded facade.
+fn batch(round: usize, keys_per_batch: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..keys_per_batch)
+        .map(|i| {
+            let key = format!("key-{i:02}").into_bytes();
+            let value = format!("round-{round:04}-item-{i:02}").into_bytes();
+            (key, value)
+        })
+        .collect()
+}
+
+/// Commit `batches` batches and record, per shard, the WAL file length
+/// after each commit — the durable boundary that truncation tests cut
+/// against.
+fn committed_boundaries(dir: &Path, shards: u32, batches: usize) -> Vec<Vec<u64>> {
+    let db = ShardedDb::open(dir, cfg(), shards).unwrap();
+    let mut boundaries: Vec<Vec<u64>> = vec![Vec::new(); db.shard_count()];
+    for round in 0..batches {
+        db.multi_put(batch(round, 12));
+        for (i, ends) in boundaries.iter_mut().enumerate() {
+            let len = std::fs::metadata(ShardedDb::wal_path(dir, i)).unwrap().len();
+            ends.push(len);
+        }
+    }
+    boundaries
+}
+
+/// The state `shard` should hold after truncating its WAL to `offset`:
+/// the latest batch whose recorded end fits under the cut, or empty.
+fn expected_round(ends: &[u64], offset: u64) -> Option<usize> {
+    ends.iter().rposition(|&end| end <= offset)
+}
+
+#[test]
+fn torn_tail_recovers_exactly_the_committed_prefix() {
+    for shards in [1u32, 2, 8] {
+        let dir = temp_dir(&format!("torn-{shards}"));
+        let boundaries = committed_boundaries(&dir, shards, 6);
+        let victim = 0usize; // every shard sees keys; shard 0 always exists
+        let wal = ShardedDb::wal_path(&dir, victim);
+        let full = std::fs::read(&wal).unwrap();
+        let ends = &boundaries[victim];
+        assert_eq!(ends.len(), 6);
+        assert!(*ends.last().unwrap() == full.len() as u64, "Sync mode flushes through");
+
+        // Cut the victim WAL at every byte offset; recovery must land on
+        // the last fully committed batch at or below the cut.
+        for offset in 0..=full.len() as u64 {
+            std::fs::write(&wal, &full[..offset as usize]).unwrap();
+            let db = ShardedDb::open(&dir, cfg(), shards).unwrap();
+
+            let survivors: Vec<usize> = (0..12)
+                .filter(|i| db.shard_of(format!("key-{i:02}").as_bytes()) == victim)
+                .collect();
+            match expected_round(ends, offset) {
+                Some(round) => {
+                    for i in &survivors {
+                        let key = format!("key-{i:02}");
+                        let want = format!("round-{round:04}-item-{i:02}");
+                        assert_eq!(
+                            db.get(key.as_bytes()),
+                            Some(want.clone().into_bytes()),
+                            "shards={shards} offset={offset} key={key}",
+                        );
+                    }
+                }
+                None => {
+                    for i in &survivors {
+                        let key = format!("key-{i:02}");
+                        assert_eq!(
+                            db.get(key.as_bytes()),
+                            None,
+                            "shards={shards} offset={offset} key={key} should be gone",
+                        );
+                    }
+                }
+            }
+            drop(db);
+        }
+        // Restore so the next iteration (and cleanup) sees a sane dir.
+        std::fs::write(&wal, &full).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn truncating_one_shard_leaves_the_others_intact() {
+    let shards = 8u32;
+    let dir = temp_dir("isolation");
+    let boundaries = committed_boundaries(&dir, shards, 4);
+
+    // Pick a victim shard that actually owns keys, then wipe its WAL
+    // completely (truncate to zero — the worst torn tail).
+    let probe = ShardedDb::open(&dir, cfg(), shards).unwrap();
+    let victim = probe.shard_of(b"key-00");
+    drop(probe);
+    assert!(boundaries[victim].last().copied().unwrap_or(0) > 0);
+    std::fs::write(ShardedDb::wal_path(&dir, victim), b"").unwrap();
+
+    let db = ShardedDb::open(&dir, cfg(), shards).unwrap();
+    for i in 0..12usize {
+        let key = format!("key-{i:02}");
+        let got = db.get(key.as_bytes());
+        if db.shard_of(key.as_bytes()) == victim {
+            assert_eq!(got, None, "{key} lived on the wiped shard");
+        } else {
+            let want = format!("round-0003-item-{i:02}").into_bytes();
+            assert_eq!(got, Some(want), "{key} lives on an untouched shard");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_round_trips_across_clean_reopen() {
+    for shards in [1u32, 2, 8] {
+        let dir = temp_dir(&format!("reopen-{shards}"));
+        {
+            let db = ShardedDb::open(&dir, cfg(), shards).unwrap();
+            db.multi_put(batch(0, 12));
+            db.put(b"solo", b"value");
+            assert!(db.del(b"key-00"));
+        }
+        let db = ShardedDb::open(&dir, cfg(), shards).unwrap();
+        assert_eq!(db.get(b"solo"), Some(b"value".to_vec()));
+        assert_eq!(db.get(b"key-00"), None, "deletes replay too");
+        assert_eq!(db.get(b"key-05"), Some(b"round-0000-item-05".to_vec()));
+        assert_eq!(db.len(), 12); // 12 batch keys - 1 delete + solo
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

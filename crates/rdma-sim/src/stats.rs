@@ -64,6 +64,15 @@ pub struct NodeStats {
     /// High-water mark of requests simultaneously in flight on any
     /// pipelined channel of this node.
     pub inflight_hwm: AtomicU64,
+    /// Storage-backend write transactions committed by services on this
+    /// node (one per shard touched by a batch).
+    pub kv_txns: AtomicU64,
+    /// Nanoseconds storage writers spent waiting on shard writer locks
+    /// (contention indicator: stays near zero when sharding spreads
+    /// writers out).
+    pub kv_writer_wait_ns: AtomicU64,
+    /// Key+value bytes written into the storage backend.
+    pub kv_bytes_written: AtomicU64,
 }
 
 impl NodeStats {
@@ -123,6 +132,9 @@ impl NodeStats {
             pipelined_calls: Self::get(&self.pipelined_calls),
             pipeline_doorbells: Self::get(&self.pipeline_doorbells),
             inflight_hwm: Self::get(&self.inflight_hwm),
+            kv_txns: Self::get(&self.kv_txns),
+            kv_writer_wait_ns: Self::get(&self.kv_writer_wait_ns),
+            kv_bytes_written: Self::get(&self.kv_bytes_written),
         }
     }
 }
@@ -154,6 +166,9 @@ pub struct NodeStatsSnapshot {
     pub pipelined_calls: u64,
     pub pipeline_doorbells: u64,
     pub inflight_hwm: u64,
+    pub kv_txns: u64,
+    pub kv_writer_wait_ns: u64,
+    pub kv_bytes_written: u64,
 }
 
 impl NodeStatsSnapshot {
@@ -162,7 +177,7 @@ impl NodeStatsSnapshot {
     /// stats --json`, trace summaries): adding a field here is the only
     /// way it shows up in a snapshot, so reports cannot silently miss a
     /// counter.
-    pub fn fields(&self) -> [(&'static str, u64); 24] {
+    pub fn fields(&self) -> [(&'static str, u64); 27] {
         [
             ("wrs_posted", self.wrs_posted),
             ("doorbells", self.doorbells),
@@ -188,6 +203,9 @@ impl NodeStatsSnapshot {
             ("pipelined_calls", self.pipelined_calls),
             ("pipeline_doorbells", self.pipeline_doorbells),
             ("inflight_hwm", self.inflight_hwm),
+            ("kv_txns", self.kv_txns),
+            ("kv_writer_wait_ns", self.kv_writer_wait_ns),
+            ("kv_bytes_written", self.kv_bytes_written),
         ]
     }
 }
@@ -227,6 +245,9 @@ impl std::ops::Sub for NodeStatsSnapshot {
             pipelined_calls: self.pipelined_calls.saturating_sub(rhs.pipelined_calls),
             pipeline_doorbells: self.pipeline_doorbells.saturating_sub(rhs.pipeline_doorbells),
             inflight_hwm: self.inflight_hwm.saturating_sub(rhs.inflight_hwm),
+            kv_txns: self.kv_txns.saturating_sub(rhs.kv_txns),
+            kv_writer_wait_ns: self.kv_writer_wait_ns.saturating_sub(rhs.kv_writer_wait_ns),
+            kv_bytes_written: self.kv_bytes_written.saturating_sub(rhs.kv_bytes_written),
         }
     }
 }
@@ -308,7 +329,7 @@ mod tests {
         NodeStats::add(&s.wrs_posted, 2);
         let snap = s.snapshot();
         let fields = snap.fields();
-        assert_eq!(fields.len(), 24);
+        assert_eq!(fields.len(), 27);
         let names: Vec<_> = fields.iter().map(|(n, _)| *n).collect();
         let mut dedup = names.clone();
         dedup.sort();

@@ -100,6 +100,18 @@ impl WorkloadSpec {
         WorkloadSpec { proportions: [0.475, 0.025, 0.475, 0.025], ..Self::base(record_count) }
     }
 
+    /// Classic YCSB-A (50% GET / 50% PUT, no batched ops) with uniform
+    /// request keys — the write-serialization stress mix for the shard
+    /// sweep. Uniform (not Zipfian) so single-key PUTs spread across the
+    /// whole key space and therefore across every backend shard.
+    pub fn write_heavy(record_count: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            proportions: [0.5, 0.5, 0.0, 0.0],
+            distribution: RequestDistribution::Uniform,
+            ..Self::base(record_count)
+        }
+    }
+
     fn base(record_count: usize) -> WorkloadSpec {
         WorkloadSpec {
             proportions: [1.0, 0.0, 0.0, 0.0],
@@ -247,6 +259,23 @@ mod tests {
         }
         let frac = writes as f64 / 20_000.0;
         assert!((frac - 0.05).abs() < 0.01, "write fraction {frac}");
+    }
+
+    #[test]
+    fn write_heavy_mix_is_half_puts_and_unbatched() {
+        let mut g = OpGenerator::new(WorkloadSpec::write_heavy(10_000), 4);
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[match g.next_op().op_type() {
+                OpType::Get => 0,
+                OpType::Put => 1,
+                OpType::MultiGet => 2,
+                OpType::MultiPut => 3,
+            }] += 1;
+        }
+        let put_frac = counts[1] as f64 / 20_000.0;
+        assert!((put_frac - 0.5).abs() < 0.02, "put fraction {put_frac}");
+        assert_eq!(counts[2] + counts[3], 0, "no batched ops in the stress mix");
     }
 
     #[test]

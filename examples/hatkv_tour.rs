@@ -9,12 +9,12 @@
 use hatrpc::hatkv::comparators::{Comparator, ComparatorServer, RawKvClient};
 use hatrpc::hatkv::server::{HatKvServer, KvVariant};
 use hatrpc::hatkv::HatKVClient;
-use hatrpc::kvdb::{Database, DbConfig, SyncMode};
+use hatrpc::kvdb::{DbConfig, ShardedDb, SyncMode};
 use hatrpc::protocols::ProtocolConfig;
 use hatrpc::rdma::{now_ns, Fabric, SimConfig};
 
-fn fresh_db() -> Database {
-    Database::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() })
+fn fresh_config() -> DbConfig {
+    DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() }
 }
 
 fn main() {
@@ -22,11 +22,13 @@ fn main() {
 
     // ---- HatKV with full function-level hints -------------------------
     let snode = fabric.add_node("hatkv-server");
-    let server = HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::FunctionHints, fresh_db());
+    let server =
+        HatKvServer::start(&fabric, &snode, "hatkv", KvVariant::FunctionHints, fresh_config());
     println!(
-        "backend tuned by hints: max_readers={}, sync={:?}",
+        "backend tuned by hints: max_readers={}, sync={:?}, shards={}",
         server.db().config().max_readers,
-        server.db().config().sync_mode
+        server.db().config().sync_mode,
+        server.db().shard_count()
     );
 
     let cnode = fabric.add_node("hatkv-client");
@@ -63,7 +65,7 @@ fn main() {
         "pilaf-kv",
         Comparator::Pilaf.protocol(),
         cfg.clone(),
-        fresh_db(),
+        ShardedDb::new(fresh_config(), 1),
     );
     let cnode2 = fabric.add_node("pilaf-client");
     let mut raw =

@@ -138,7 +138,11 @@ fn protocol_servers_handle_abrupt_client_exit_mid_stream() {
 #[test]
 fn kvdb_reader_exhaustion_is_reported_not_deadlocked() {
     use hatrpc::kvdb::{Database, DbConfig, KvError, SyncMode};
-    let db = Database::new(DbConfig { max_readers: 3, sync_mode: SyncMode::NoSync });
+    let db = Database::new(DbConfig {
+        max_readers: 3,
+        sync_mode: SyncMode::NoSync,
+        ..Default::default()
+    });
     let _r1 = db.begin_read().unwrap();
     let _r2 = db.begin_read().unwrap();
     let _r3 = db.begin_read().unwrap();

@@ -175,7 +175,7 @@ fn all_six_kv_systems_serve_the_paper_geometry() {
     use hatrpc::hatkv::comparators::{Comparator, ComparatorServer, RawKvClient};
     use hatrpc::hatkv::server::{HatKvServer, KvVariant};
     use hatrpc::hatkv::HatKVClient;
-    use hatrpc::kvdb::{Database, DbConfig, SyncMode};
+    use hatrpc::kvdb::{DbConfig, ShardedDb, SyncMode};
 
     let value = vec![0xEE; 1000]; // 10 fields x 100 B
     let key = vec![b'u'; 24]; // 24-byte key
@@ -184,8 +184,8 @@ fn all_six_kv_systems_serve_the_paper_geometry() {
     for variant in [KvVariant::ServiceHints, KvVariant::FunctionHints] {
         let fabric = Fabric::new(SimConfig::fast_test());
         let snode = fabric.add_node("s");
-        let db = Database::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() });
-        let server = HatKvServer::start(&fabric, &snode, "kv", variant, db);
+        let config = DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() };
+        let server = HatKvServer::start(&fabric, &snode, "kv", variant, config);
         let cnode = fabric.add_node("c");
         let mut kv = HatKVClient::new(hatrpc::core::engine::HatClient::new(
             &fabric,
@@ -202,7 +202,7 @@ fn all_six_kv_systems_serve_the_paper_geometry() {
     for comp in Comparator::ALL {
         let fabric = Fabric::new(SimConfig::fast_test());
         let snode = fabric.add_node("s");
-        let db = Database::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() });
+        let db = ShardedDb::new(DbConfig { sync_mode: SyncMode::NoSync, ..Default::default() }, 1);
         let cfg = ProtocolConfig { max_msg: 32 * 1024, ..Default::default() };
         let server =
             ComparatorServer::start(&fabric, &snode, "kv", comp.protocol(), cfg.clone(), db);

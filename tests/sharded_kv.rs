@@ -1,0 +1,239 @@
+//! RPC-level concurrency stress for the sharded HatKV backend: N writer
+//! clients racing M reader clients over real HatRPC channels, on both a
+//! hint-sharded and an unsharded deployment.
+//!
+//! Every writer MultiPUTs the *same* fixed key set with a round-marker
+//! value, so any reader snapshot must see, **within each shard**, one
+//! single marker across all of that shard's keys — a mixed marker inside
+//! a shard is a torn MultiPUT, which the per-shard write transaction
+//! forbids. Across shards markers may differ (the documented, deliberate
+//! absence of cross-shard atomicity). With shards=1 the invariant
+//! tightens to full-batch atomicity.
+//!
+//! One variant runs under a seeded fault plan that flushes a writer's QP
+//! mid-MultiPUT; the client's retry policy must carry the batch through
+//! with the invariant intact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hatrpc::core::engine::{CallPolicy, HatClient};
+use hatrpc::hatkv::{hat_k_v_schema, HatKVClient, HatKvServer};
+use hatrpc::kvdb::{DbConfig, ShardedDb, SyncMode};
+use hatrpc::rdma::{Fabric, FaultPlan, FaultScope, SimConfig};
+
+const KEYS: usize = 16;
+const WRITERS: usize = 3;
+const READERS: usize = 2;
+const ROUNDS: usize = 20;
+const READS: usize = 40;
+
+fn keys() -> Vec<Vec<u8>> {
+    (0..KEYS).map(|i| format!("stress-key-{i:02}").into_bytes()).collect()
+}
+
+fn marker(writer: usize, round: usize) -> Vec<u8> {
+    format!("w{writer}-r{round:04}").into_bytes()
+}
+
+fn db_config() -> DbConfig {
+    // A visible modeled commit stall so concurrent writers actually
+    // contend on the per-shard writer locks.
+    DbConfig { sync_mode: SyncMode::NoSync, commit_cost_ns: Some(200_000), ..Default::default() }
+}
+
+fn client_policy() -> CallPolicy {
+    CallPolicy { deadline: Duration::from_secs(5), retries: 8, backoff: Duration::from_millis(1) }
+}
+
+/// Drive the stress mix against an already-started server and return the
+/// number of reader snapshots that observed a non-initial marker.
+fn stress(fabric: &Fabric, server: &HatKvServer, service: &str) -> usize {
+    let db = server.db().clone();
+    let keys = keys();
+
+    // Seed every key so readers never race the very first insert.
+    db.multi_put(keys.iter().map(|k| (k.clone(), marker(0, 0))));
+
+    let schema = server.schema().clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writer_handles = Vec::new();
+    for w in 0..WRITERS {
+        let fabric = fabric.clone();
+        let node = fabric.add_node(&format!("writer-{w}"));
+        let schema = schema.clone();
+        let keys = keys.clone();
+        let service = service.to_string();
+        writer_handles.push(std::thread::spawn(move || {
+            let mut client = HatKVClient::new(
+                HatClient::new(&fabric, &node, &service, &schema).with_policy(client_policy()),
+            );
+            for round in 1..=ROUNDS {
+                let values = (0..keys.len()).map(|_| marker(w, round)).collect();
+                client.multiput(keys.clone(), values).expect("multiput survives faults");
+            }
+        }));
+    }
+
+    let mut reader_handles = Vec::new();
+    for r in 0..READERS {
+        let fabric = fabric.clone();
+        let node = fabric.add_node(&format!("reader-{r}"));
+        let schema = schema.clone();
+        let keys = keys.clone();
+        let db = db.clone();
+        let service = service.to_string();
+        let stop = stop.clone();
+        reader_handles.push(std::thread::spawn(move || {
+            let mut client = HatKVClient::new(
+                HatClient::new(&fabric, &node, &service, &schema).with_policy(client_policy()),
+            );
+            let mut fresh = 0usize;
+            let mut reads = 0usize;
+            while reads < READS || !stop.load(Ordering::Relaxed) {
+                reads += 1;
+                let values = client.multiget(keys.clone()).expect("multiget");
+                assert_eq!(values.len(), keys.len());
+                // Group the snapshot by owning shard: within a shard,
+                // every key must carry the same marker (no torn batch).
+                let mut per_shard: Vec<Option<&[u8]>> = vec![None; db.shard_count()];
+                for (key, value) in keys.iter().zip(&values) {
+                    assert!(!value.is_empty(), "seeded key {key:?} went missing");
+                    let shard = db.shard_of(key);
+                    match per_shard[shard] {
+                        None => per_shard[shard] = Some(value),
+                        Some(seen) => assert_eq!(
+                            seen,
+                            value.as_slice(),
+                            "torn MultiPUT in shard {shard}: {:?} vs {:?}",
+                            String::from_utf8_lossy(seen),
+                            String::from_utf8_lossy(value),
+                        ),
+                    }
+                }
+                if values.iter().any(|v| v != &marker(0, 0)) {
+                    fresh += 1;
+                }
+                if reads >= READS * 20 {
+                    break; // safety valve; stop flag should fire first
+                }
+            }
+            fresh
+        }));
+    }
+
+    for handle in writer_handles {
+        handle.join().expect("writer thread");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let fresh: usize = reader_handles.into_iter().map(|h| h.join().expect("reader thread")).sum();
+
+    // Quiesced end state: the last committed round in each shard is some
+    // writer's final round, uniformly across the shard's keys.
+    let read = db.begin_read().unwrap();
+    let mut per_shard: Vec<Option<Vec<u8>>> = vec![None; db.shard_count()];
+    for key in &keys {
+        let value = read.get(key).expect("key present after run");
+        let shard = db.shard_of(key);
+        match &per_shard[shard] {
+            None => per_shard[shard] = Some(value),
+            Some(seen) => assert_eq!(seen, &value, "inconsistent quiesced shard {shard}"),
+        }
+    }
+    for value in per_shard.into_iter().flatten() {
+        let text = String::from_utf8(value).unwrap();
+        assert!(
+            text.ends_with(&format!("r{ROUNDS:04}")),
+            "final shard state is some writer's last round, got {text}",
+        );
+    }
+    fresh
+}
+
+#[test]
+fn concurrent_writers_and_readers_never_observe_torn_batches_sharded() {
+    let fabric = Fabric::new(SimConfig::fast_test());
+    let snode = fabric.add_node("kv-server");
+    // The checked-in IDL hints `shards = 4`; the server builds its
+    // backend from that negotiated hint.
+    let server =
+        HatKvServer::start_with_schema(&fabric, &snode, "kv", hat_k_v_schema(), db_config());
+    assert_eq!(server.db().shard_count(), 4, "backend sized by the shards hint");
+
+    // Sample the mirrored writer-lock-wait counter while the run is hot:
+    // it must be monotonically non-decreasing (deltas are only added).
+    let sampler_node = snode.clone();
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    let sampler_flag = sampler_stop.clone();
+    let sampler = std::thread::spawn(move || {
+        let mut last = 0u64;
+        let mut samples = Vec::new();
+        while !sampler_flag.load(Ordering::Relaxed) {
+            let now = sampler_node.stats_snapshot().kv_writer_wait_ns;
+            assert!(now >= last, "kv_writer_wait_ns went backwards: {last} -> {now}");
+            samples.push(now);
+            last = now;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        samples
+    });
+
+    let fresh = stress(&fabric, &server, "kv");
+    sampler_stop.store(true, Ordering::Relaxed);
+    let samples = sampler.join().expect("sampler thread");
+
+    assert!(fresh > 0, "readers must observe at least one post-seed round");
+    assert!(samples.len() > 5, "the sampler ran during the stress window");
+    let end = snode.stats_snapshot();
+    assert!(
+        end.kv_writer_wait_ns > 0,
+        "three concurrent writers on shared locks must record waiter time: {end:?}",
+    );
+    assert!(end.kv_txns as usize >= WRITERS * ROUNDS, "every round committed: {end:?}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_writers_and_readers_never_observe_torn_batches_unsharded() {
+    let fabric = Fabric::new(SimConfig::fast_test());
+    let snode = fabric.add_node("kv-server");
+    // Explicit single-shard backend: the invariant tightens to whole-batch
+    // atomicity (every key in a snapshot carries the same marker).
+    let server = HatKvServer::start_with_db(
+        &fabric,
+        &snode,
+        "kv",
+        hat_k_v_schema(),
+        ShardedDb::new(db_config(), 1),
+    );
+    assert_eq!(server.db().shard_count(), 1);
+    let fresh = stress(&fabric, &server, "kv");
+    assert!(fresh > 0, "readers must observe at least one post-seed round");
+    server.shutdown();
+}
+
+#[test]
+fn qp_flush_mid_multiput_retries_without_tearing_a_shard() {
+    // Flush writer-0's QPs every 512 WRs. Under reader/writer contention
+    // one MultiPUT costs up to ~90 WRs (the reply wait itself posts poll
+    // WRs), so a 20-round run crosses the budget more than once and the
+    // connection dies mid-stream — while a fresh QP can always finish a
+    // single attempt within its own budget. The retry policy re-issues
+    // the batch on a fresh channel; MultiPUT is idempotent, so the only
+    // observable must be retry/qp_error counters — never a torn shard.
+    let plan = FaultPlan::new(0xC0FFEE).flush_qp_after(FaultScope::Node("writer-0".into()), 512);
+    let fabric = Fabric::new(SimConfig::fast_test().with_fault_plan(plan));
+    let snode = fabric.add_node("kv-server");
+    let server =
+        HatKvServer::start_with_schema(&fabric, &snode, "kv", hat_k_v_schema(), db_config());
+
+    let fresh = stress(&fabric, &server, "kv");
+    assert!(fresh > 0, "readers must observe at least one post-seed round");
+
+    // The fault actually fired on the targeted writer, and retries hid it.
+    let faulted = fabric.node("writer-0").expect("writer-0 node exists").stats_snapshot();
+    assert!(faulted.qp_errors >= 1, "the flush must be visible in qp_errors: {faulted:?}");
+    assert!(faulted.calls_retried >= 1, "the batch recovered via retries: {faulted:?}");
+    server.shutdown();
+}
