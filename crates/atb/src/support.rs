@@ -363,7 +363,7 @@ impl AtbServer {
 
 /// An ATB client for any [`Mode`]: issues Thrift-encoded echo calls.
 pub enum AtbClient {
-    Hat(HatClient),
+    Hat(Box<HatClient>),
     Fixed(Box<dyn hat_protocols::RpcClient>),
     /// Fixed protocol over its pipelined channel (depth > 1).
     Piped(Box<dyn hat_protocols::PipelinedClient>),
@@ -396,7 +396,7 @@ impl AtbClient {
         depth: usize,
     ) -> Result<AtbClient> {
         Ok(match mode {
-            Mode::HatRpc => AtbClient::Hat(HatClient::new(fabric, node, service, schema)),
+            Mode::HatRpc => AtbClient::Hat(Box::new(HatClient::new(fabric, node, service, schema))),
             Mode::Fixed(kind, poll) => {
                 let ep = fabric.dial(node, service)?;
                 let cfg = ProtocolConfig {

@@ -18,6 +18,7 @@ fn bench(c: &mut Criterion) {
                     ops_per_client: 12,
                     shards: 4,
                     commit_cost_ns: None,
+                    onesided: true,
                 })
             });
         });

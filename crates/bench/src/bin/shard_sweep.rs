@@ -67,6 +67,9 @@ fn main() {
                 ops_per_client: ops,
                 shards,
                 commit_cost_ns: Some(commit_cost_ns),
+                // The sweep measures server-side writer-lock relief; keep
+                // GETs on the RPC path so read load still hits the server.
+                onesided: false,
             });
             let wait_ms: f64 =
                 point.shard_stats.iter().map(|s| s.writer_wait_ns).sum::<u64>() as f64 / 1e6;

@@ -296,6 +296,7 @@ fn fig_ycsb(scale: Scale, workload: KvWorkload, title: &str) -> Table {
             ops_per_client: ops,
             shards: 4,
             commit_cost_ns: None,
+            onesided: true,
         });
         table.row(vec![
             system.label().to_string(),

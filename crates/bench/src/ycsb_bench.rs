@@ -77,6 +77,9 @@ pub enum KvWorkload {
     /// Classic YCSB-A (50% GET / 50% PUT, uniform keys, no batching) —
     /// the write-serialization stress mix for the shard sweep.
     WriteHeavy,
+    /// Classic YCSB-C (100% GET, Zipfian) — the pure-read mix where the
+    /// one-sided GET bypass shows its full effect.
+    ReadOnly,
 }
 
 impl KvWorkload {
@@ -86,6 +89,7 @@ impl KvWorkload {
             KvWorkload::MixA => WorkloadSpec::workload_a(records),
             KvWorkload::MixB => WorkloadSpec::workload_b(records),
             KvWorkload::WriteHeavy => WorkloadSpec::write_heavy(records),
+            KvWorkload::ReadOnly => WorkloadSpec::read_only(records),
         }
     }
 
@@ -95,6 +99,7 @@ impl KvWorkload {
             KvWorkload::MixA => "ycsb-a",
             KvWorkload::MixB => "ycsb-b",
             KvWorkload::WriteHeavy => "write-heavy",
+            KvWorkload::ReadOnly => "ycsb-c",
         }
     }
 }
@@ -119,6 +124,11 @@ pub struct YcsbConfig {
     /// mode's default). The shard sweep raises this so writer-lock
     /// serialization, not CPU, dominates — see `shard_sweep.rs`.
     pub commit_cost_ns: Option<u64>,
+    /// Keep the IDL's `onesided_get` hints (true) or strip them so every
+    /// GET takes the RPC path (false). Only meaningful for
+    /// [`KvSystem::HatRpcFunction`]; the Service variant and the
+    /// comparators never see function hints anyway.
+    pub onesided: bool,
 }
 
 /// One measured YCSB point.
@@ -148,8 +158,16 @@ fn comparator_cfg(poll: PollMode) -> ProtocolConfig {
 /// an operator would hint the real number — a deliberately wrong
 /// concurrency hint mis-selects polling exactly as the paper's model
 /// predicts.
-fn schema_for(clients: usize, service_only: bool, shards: u32) -> ServiceSchema {
+fn schema_for(clients: usize, service_only: bool, shards: u32, onesided: bool) -> ServiceSchema {
     let mut schema = if service_only { service_only_schema() } else { hat_k_v_schema() };
+    if !onesided {
+        // Ablation switch: drop the `onesided_get` hints so the same
+        // deployment serves every GET over plain RPC.
+        for (_, hints) in &mut schema.functions {
+            hints.shared.retain(|h| h.key != "onesided_get");
+            hints.client.retain(|h| h.key != "onesided_get");
+        }
+    }
     for hint in &mut schema.service_hints.shared {
         if hint.key == "concurrency" {
             hint.value = clients.to_string();
@@ -219,7 +237,12 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
             };
             // The HatRPC deployments build their backend from the
             // negotiated `shards` hint; the bench only writes the schema.
-            let schema = schema_for(cfg.clients, variant == KvVariant::ServiceHints, cfg.shards);
+            let schema = schema_for(
+                cfg.clients,
+                variant == KvVariant::ServiceHints,
+                cfg.shards,
+                cfg.onesided,
+            );
             let server = HatKvServer::start_with_schema(&fabric, &snode, "kv", schema, db_config);
             let db = server.db().clone();
             (Server::Hat(server), db)
@@ -259,32 +282,38 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
         let ops = cfg.ops_per_client;
         let clients = cfg.clients;
         let shards = cfg.shards;
+        let onesided = cfg.onesided;
         handles.push(std::thread::spawn(move || -> RunMeasurement {
             // NOTE: setup panics here would strand the main thread at the
             // barrier; keep every fallible step before the barrier
             // infallible or .expect() only on genuinely impossible paths.
-            let mut client =
-                match system {
-                    KvSystem::HatRpcFunction => AnyKv::Hat(Box::new(HatKVClient::new(
-                        HatClient::new(&fabric, &node, "kv", &schema_for(clients, false, shards)),
-                    ))),
-                    KvSystem::HatRpcService => AnyKv::Hat(Box::new(HatKVClient::new(
-                        HatClient::new(&fabric, &node, "kv", &schema_for(clients, true, shards)),
-                    ))),
-                    other => {
-                        let comp = other.comparator().expect("comparator system");
-                        AnyKv::Raw(
-                            RawKvClient::connect(
-                                &fabric,
-                                &node,
-                                "kv",
-                                comp.protocol(),
-                                comparator_cfg(PollMode::Busy),
-                            )
-                            .expect("comparator connect"),
+            let mut client = match system {
+                KvSystem::HatRpcFunction => AnyKv::Hat(Box::new(HatKVClient::new(HatClient::new(
+                    &fabric,
+                    &node,
+                    "kv",
+                    &schema_for(clients, false, shards, onesided),
+                )))),
+                KvSystem::HatRpcService => AnyKv::Hat(Box::new(HatKVClient::new(HatClient::new(
+                    &fabric,
+                    &node,
+                    "kv",
+                    &schema_for(clients, true, shards, onesided),
+                )))),
+                other => {
+                    let comp = other.comparator().expect("comparator system");
+                    AnyKv::Raw(
+                        RawKvClient::connect(
+                            &fabric,
+                            &node,
+                            "kv",
+                            comp.protocol(),
+                            comparator_cfg(PollMode::Busy),
                         )
-                    }
-                };
+                        .expect("comparator connect"),
+                    )
+                }
+            };
             let mut generator = OpGenerator::new(spec, c as u64 + 1);
             // Warm all channels outside the measured window.
             for warm in [
@@ -344,6 +373,7 @@ mod tests {
             ops_per_client: 10,
             shards: 4,
             commit_cost_ns: None,
+            onesided: true,
         });
         assert!(p.throughput_ops_s > 0.0);
         assert_eq!(p.measurement.total_ops(), 20);
@@ -361,6 +391,7 @@ mod tests {
             ops_per_client: 10,
             shards: 2,
             commit_cost_ns: None,
+            onesided: true,
         });
         assert!(p.throughput_ops_s > 0.0);
         assert_eq!(p.shard_stats.len(), 2);
@@ -376,6 +407,7 @@ mod tests {
             ops_per_client: 10,
             shards: 1,
             commit_cost_ns: None,
+            onesided: false,
         });
         assert!(p.throughput_ops_s > 0.0);
         assert_eq!(p.shard_stats.len(), 1);
@@ -388,5 +420,34 @@ mod tests {
             labels,
             vec!["HatRPC-Function", "HatRPC-Service", "AR-gRPC", "HERD", "Pilaf", "RFP"]
         );
+        assert_eq!(KvWorkload::ReadOnly.label(), "ycsb-c");
+    }
+
+    /// The ablation switch: the same deployment runs YCSB-C with and
+    /// without the `onesided_get` hints, and the stripped schema really
+    /// has none left.
+    #[test]
+    fn read_only_point_runs_with_and_without_onesided() {
+        for onesided in [true, false] {
+            let p = run_ycsb(&YcsbConfig {
+                system: KvSystem::HatRpcFunction,
+                workload: KvWorkload::ReadOnly,
+                clients: 2,
+                records: 300,
+                ops_per_client: 10,
+                shards: 4,
+                commit_cost_ns: None,
+                onesided,
+            });
+            assert!(p.throughput_ops_s > 0.0, "onesided={onesided}");
+            assert_eq!(p.measurement.total_ops(), 20);
+        }
+        let stripped = schema_for(2, false, 4, false);
+        for (f, hints) in &stripped.functions {
+            assert!(
+                hints.shared.iter().chain(&hints.client).all(|h| h.key != "onesided_get"),
+                "{f} still hinted"
+            );
+        }
     }
 }

@@ -81,11 +81,18 @@ struct Preamble {
     /// pipelined variant of the protocol; `1` (or `0` from old peers)
     /// means the classic one-at-a-time channel.
     queue_depth: u32,
+    /// Capability bits ([`FLAG_ONESIDED`] is the only one defined).
+    flags: u8,
     fn_scope: String,
 }
 
+/// Preamble flag: the client may resolve hinted GETs one-sided (RDMA
+/// READs against the service's published index) and expects the
+/// `{service}#onesided` side-channel to exist.
+const FLAG_ONESIDED: u8 = 1;
+
 /// Fixed-size prefix of the encoded preamble, before the variable scope.
-const PREAMBLE_FIXED: usize = 24;
+const PREAMBLE_FIXED: usize = 25;
 /// Byte budget for the function scope carried in the preamble.
 const MAX_SCOPE_BYTES: usize = 120;
 
@@ -115,6 +122,7 @@ impl Preamble {
         out.extend_from_slice(&self.ring_slots.to_le_bytes());
         out.extend_from_slice(&self.eager_threshold.to_le_bytes());
         out.extend_from_slice(&self.queue_depth.to_le_bytes());
+        out.push(self.flags);
         out.extend_from_slice(&(scope.len() as u16).to_le_bytes());
         out.extend_from_slice(scope);
         out
@@ -130,7 +138,8 @@ impl Preamble {
         let ring_slots = u32::from_le_bytes(bytes[10..14].try_into().expect("4B"));
         let eager_threshold = u32::from_le_bytes(bytes[14..18].try_into().expect("4B"));
         let queue_depth = u32::from_le_bytes(bytes[18..22].try_into().expect("4B"));
-        let slen = u16::from_le_bytes(bytes[22..24].try_into().expect("2B")) as usize;
+        let flags = bytes[22];
+        let slen = u16::from_le_bytes(bytes[23..25].try_into().expect("2B")) as usize;
         if bytes.len() < PREAMBLE_FIXED + slen {
             return Err(CoreError::Protocol("truncated preamble scope".into()));
         }
@@ -143,6 +152,7 @@ impl Preamble {
             ring_slots,
             eager_threshold,
             queue_depth,
+            flags,
             fn_scope,
         })
     }
@@ -176,6 +186,9 @@ struct FnPlan {
     /// server-side deployment knob — it never changes the wire protocol,
     /// so it is not part of [`ChannelKey`].
     shards: u32,
+    /// Resolved client-side `onesided_get` hint: GETs first try the
+    /// server-bypass READ path, falling back to this plan's channel.
+    onesided: bool,
     key: ChannelKey,
 }
 
@@ -233,6 +246,9 @@ fn plan_for(schema: &ServiceSchema, func: &str, bounds: &SubscriptionBounds) -> 
         // hint resolution — it describes the service's storage, which the
         // client cannot observe on the wire.
         shards: server.shards.map(|s| s.min(MAX_BACKEND_SHARDS)).unwrap_or(1),
+        // Unlike `shards`, `onesided_get` is client-visible: the client
+        // itself changes its access pattern, so it resolves client-side.
+        onesided: client.onesided_get.unwrap_or(false) && !tcp,
         key: ChannelKey {
             kind: selection.protocol,
             poll: selection.poll,
@@ -303,6 +319,20 @@ pub struct HatClient {
     policy: CallPolicy,
     /// Core chosen when a plan requests NUMA binding.
     bind_core: u32,
+    /// Lazily-dialed one-sided GET side-channel (see
+    /// [`HatClient::try_onesided_get`]).
+    onesided: OneSidedState,
+}
+
+/// Lifecycle of the client's one-sided side-channel connection.
+enum OneSidedState {
+    /// No plan has asked for it yet (or the first use has not happened).
+    Untried,
+    /// Dial or handshake failed — the service does not publish an index
+    /// (or a READ errored); every GET stays on the RPC path for good.
+    Disabled,
+    /// Connected and serving READs.
+    Ready(Box<hat_protocols::OneSidedReader>),
 }
 
 static NEXT_BIND_CORE: AtomicU64 = AtomicU64::new(0);
@@ -347,6 +377,7 @@ impl HatClient {
             bounds,
             policy: CallPolicy::default(),
             bind_core,
+            onesided: OneSidedState::Untried,
         }
     }
 
@@ -707,6 +738,120 @@ impl HatClient {
             .ok_or_else(|| CoreError::Protocol("plan promised a pipelined channel".into()))
     }
 
+    /// Dial the side-channel on first use; `None` once disabled.
+    fn onesided_reader(&mut self) -> Option<&mut hat_protocols::OneSidedReader> {
+        if matches!(self.onesided, OneSidedState::Untried) {
+            self.onesided = match hat_protocols::OneSidedReader::connect(
+                &self.fabric,
+                &self.node,
+                &self.service,
+            ) {
+                Ok(reader) => OneSidedState::Ready(Box::new(reader)),
+                // NoSuchService, handshake failure, geometry mismatch:
+                // the accelerator is unavailable, RPC still works.
+                Err(_) => OneSidedState::Disabled,
+            };
+        }
+        match &mut self.onesided {
+            OneSidedState::Ready(reader) => Some(reader),
+            _ => None,
+        }
+    }
+
+    /// Try to resolve `func(key)` with one-sided READs against the
+    /// service's published index. `Some(value)` bypassed the server CPU
+    /// entirely; `None` means the caller must issue the normal RPC
+    /// (function not hinted `onesided_get`, side-channel unavailable,
+    /// index miss, oversized value, or seqlock conflict). Never an error:
+    /// the one-sided path is an accelerator, not a source of truth.
+    pub fn try_onesided_get(&mut self, func: &str, key: &[u8]) -> Option<Vec<u8>> {
+        if !self.plans.get(func).unwrap_or(&self.default_plan).onesided {
+            return None;
+        }
+        let traced = hat_trace::enabled();
+        let node_id = self.node.id();
+        let reader = self.onesided_reader()?;
+        let before = reader.bytes_read();
+        match reader.get(key) {
+            Ok(Ok(value)) => {
+                if traced {
+                    let bytes = reader.bytes_read() - before;
+                    hat_trace::event(
+                        Phase::OneSidedRead,
+                        node_id,
+                        hat_trace::current_call(),
+                        bytes,
+                        now_ns(),
+                    );
+                }
+                Some(value)
+            }
+            Ok(Err(reason)) => {
+                if traced {
+                    hat_trace::event(
+                        Phase::OneSidedFallback,
+                        node_id,
+                        hat_trace::current_call(),
+                        reason as u64,
+                        now_ns(),
+                    );
+                }
+                None
+            }
+            Err(_) => {
+                // A transport-level failure poisons the side-channel;
+                // future GETs go straight to RPC.
+                self.onesided = OneSidedState::Disabled;
+                None
+            }
+        }
+    }
+
+    /// Batch variant of [`HatClient::try_onesided_get`]: resolves the
+    /// whole batch with chained READs (two doorbell rounds per chunk) or
+    /// not at all — a single unresolvable key sends the entire batch back
+    /// to the RPC path so the caller never has to merge partial results.
+    pub fn try_onesided_multiget(&mut self, func: &str, keys: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
+        if keys.is_empty() || !self.plans.get(func).unwrap_or(&self.default_plan).onesided {
+            return None;
+        }
+        let traced = hat_trace::enabled();
+        let node_id = self.node.id();
+        let reader = self.onesided_reader()?;
+        let before = reader.bytes_read();
+        match reader.multiget(keys) {
+            Ok(Ok(values)) => {
+                if traced {
+                    let bytes = reader.bytes_read() - before;
+                    hat_trace::event(
+                        Phase::OneSidedRead,
+                        node_id,
+                        hat_trace::current_call(),
+                        bytes,
+                        now_ns(),
+                    );
+                }
+                Some(values)
+            }
+            Ok(Err(reason)) => {
+                if traced {
+                    hat_trace::event(
+                        Phase::OneSidedFallback,
+                        node_id,
+                        hat_trace::current_call(),
+                        reason as u64,
+                        now_ns(),
+                    );
+                }
+                None
+            }
+            Err(_) => {
+                self.onesided = OneSidedState::Disabled;
+                None
+            }
+        }
+    }
+
     fn open_channel(&self, plan: &FnPlan, func: &str) -> Result<Box<dyn ClientTransport>> {
         if plan.key.tcp {
             let socket = TSocket::dial(&self.fabric, &self.node, &tcp_service(&self.service))?;
@@ -724,6 +869,7 @@ impl HatClient {
             ring_slots: ring_slots as u32,
             eager_threshold: ENGINE_EAGER_THRESHOLD as u32,
             queue_depth: plan.queue_depth,
+            flags: if plan.onesided { FLAG_ONESIDED } else { 0 },
             fn_scope: func.to_string(),
         };
         let ack = hat_protocols::exchange_blobs_deadline(
@@ -1104,6 +1250,7 @@ mod tests {
             ring_slots: 16,
             eager_threshold: 4096,
             queue_depth: 8,
+            flags: FLAG_ONESIDED,
             fn_scope: "bulk".into(),
         };
         assert_eq!(Preamble::decode(&p.encode()).unwrap(), p);
@@ -1123,6 +1270,7 @@ mod tests {
             ring_slots: 16,
             eager_threshold: 4096,
             queue_depth: 1,
+            flags: 0,
             fn_scope: scope.clone(),
         };
         let decoded = Preamble::decode(&p.encode()).unwrap();
@@ -1149,6 +1297,7 @@ mod tests {
             ring_slots in proptest::prelude::any::<u32>(),
             eager_threshold in proptest::prelude::any::<u32>(),
             queue_depth in proptest::prelude::any::<u32>(),
+            flags in proptest::prelude::any::<u8>(),
             scope in ".{0,200}",
         ) {
             let p = Preamble {
@@ -1158,6 +1307,7 @@ mod tests {
                 ring_slots,
                 eager_threshold,
                 queue_depth,
+                flags,
                 fn_scope: scope.clone(),
             };
             let d = Preamble::decode(&p.encode()).unwrap();
@@ -1167,6 +1317,7 @@ mod tests {
             proptest::prop_assert_eq!(d.ring_slots, ring_slots);
             proptest::prop_assert_eq!(d.eager_threshold, eager_threshold);
             proptest::prop_assert_eq!(d.queue_depth, queue_depth);
+            proptest::prop_assert_eq!(d.flags, flags);
             proptest::prop_assert!(d.fn_scope.len() <= MAX_SCOPE_BYTES);
             proptest::prop_assert!(scope.starts_with(&d.fn_scope));
             if scope.len() <= MAX_SCOPE_BYTES {

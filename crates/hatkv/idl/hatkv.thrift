@@ -6,11 +6,17 @@
 // tiny ack. The server-side `shards` hint partitions the storage backend
 // into independent per-writer-lock shards (PUTs to different shards never
 // serialize); it is invisible on the wire, so only the server consumes it.
+// GET-class functions additionally carry `onesided_get`: the server
+// publishes an MR-backed index and clients resolve lookups with RDMA
+// READs, bypassing the server CPU and falling back to RPC on miss or
+// seqlock conflict. Unlike `shards` this hint is client-visible — it is a
+// function-level hint, so HatRPC-Service (function hints stripped) serves
+// every GET over plain RPC.
 service HatKV {
     hint: concurrency = 128, perf_goal = throughput;
     s_hint: shards = 4;
-    binary get(1: binary key) [ hint: payload_size = 2K; ]
+    binary get(1: binary key) [ hint: payload_size = 2K, onesided_get = true; ]
     void put(1: binary key, 2: binary value) [ c_hint: payload_size = 2K; s_hint: payload_size = 64; ]
-    list<binary> multiget(1: list<binary> keys) [ hint: payload_size = 16K; ]
+    list<binary> multiget(1: list<binary> keys) [ hint: payload_size = 16K, onesided_get = true; ]
     void multiput(1: list<binary> keys, 2: list<binary> values) [ c_hint: payload_size = 16K; s_hint: payload_size = 64; ]
 }

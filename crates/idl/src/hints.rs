@@ -16,6 +16,7 @@
 //! | `priority` | `high`, `low` | de-prioritize heartbeat-class functions |
 //! | `queue_depth` | positive integer | pipelined in-flight request window |
 //! | `shards` | positive integer | backend storage partitions (server side) |
+//! | `onesided_get` | `true`, `false` | client bypasses the server CPU for GETs via RDMA READs |
 //!
 //! Unknown keys or malformed values are *filtered out* during validation
 //! and reported as warnings — exactly the paper's check/merge pass — so a
@@ -177,6 +178,11 @@ pub struct HintSet {
     /// `shards` (backend storage partitions; 1 = unsharded). Server-side:
     /// it sizes the service's storage backend, not the wire protocol.
     pub shards: Option<u32>,
+    /// `onesided_get`: resolve read-only lookups with one-sided RDMA
+    /// READs against a server-published index, falling back to the RPC
+    /// path on miss or version conflict. Unlike `shards`, this hint is
+    /// client-visible: the *client* changes its access pattern.
+    pub onesided_get: Option<bool>,
 }
 
 /// A non-fatal validation complaint (unknown key / bad value).
@@ -268,6 +274,11 @@ impl HintSet {
                     Ok(n) if n > 0 => set.shards = Some(n),
                     _ => warn("expected a positive integer"),
                 },
+                "onesided_get" => match value {
+                    "true" | "1" | "on" => set.onesided_get = Some(true),
+                    "false" | "0" | "off" => set.onesided_get = Some(false),
+                    _ => warn("expected true | false"),
+                },
                 _ => warn("unknown hint key"),
             }
         }
@@ -293,6 +304,7 @@ impl HintSet {
             priority: other.priority.or(self.priority),
             queue_depth: other.queue_depth.or(self.queue_depth),
             shards: other.shards.or(self.shards),
+            onesided_get: other.onesided_get.or(self.onesided_get),
         }
     }
 }
@@ -413,6 +425,7 @@ mod tests {
                 ("priority", "low"),
                 ("queue_depth", "8"),
                 ("shards", "4"),
+                ("onesided_get", "true"),
             ],
             &mut warnings,
         );
@@ -426,6 +439,20 @@ mod tests {
         assert_eq!(set.priority, Some(PriorityHint::Low));
         assert_eq!(set.queue_depth, Some(8));
         assert_eq!(set.shards, Some(4));
+        assert_eq!(set.onesided_get, Some(true));
+    }
+
+    #[test]
+    fn onesided_get_parses_booleans_and_rejects_garbage() {
+        let mut warnings = Vec::new();
+        let set = HintSet::from_raw([("onesided_get", "on")], &mut warnings);
+        assert_eq!(set.onesided_get, Some(true));
+        let set = HintSet::from_raw([("onesided_get", "0")], &mut warnings);
+        assert_eq!(set.onesided_get, Some(false));
+        assert!(warnings.is_empty());
+        let set = HintSet::from_raw([("onesided_get", "sometimes")], &mut warnings);
+        assert_eq!(set.onesided_get, None);
+        assert_eq!(warnings.len(), 1);
     }
 
     #[test]

@@ -43,7 +43,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-pub use sharded::{ShardedDb, ShardedReadTxn};
+pub use sharded::{clamp_shard_count, ShardedDb, ShardedReadTxn, WriteObserver, MAX_SHARDS};
 use tree::Node;
 use wal::{Wal, WalOp};
 

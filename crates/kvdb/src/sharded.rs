@@ -34,6 +34,14 @@ use crate::{Database, DbConfig, DbStatsSnapshot, KvError, ReadTxn};
 /// WAL handle; a runaway `shards` hint must not exhaust them).
 pub const MAX_SHARDS: u32 = 64;
 
+/// Clamp a requested shard count into `1..=`[`MAX_SHARDS`]. The single
+/// place the bound lives: callers that *report* a shard count (hint
+/// resolution, bench labels) must clamp through here so what they print
+/// always matches the partition count [`ShardedDb::new`] actually builds.
+pub fn clamp_shard_count(shards: u32) -> u32 {
+    shards.clamp(1, MAX_SHARDS)
+}
+
 /// FNV-1a over the key bytes — stable across processes, so persistent
 /// shard routing survives reopen.
 fn fnv1a(key: &[u8]) -> u64 {
@@ -47,31 +55,82 @@ fn fnv1a(key: &[u8]) -> u64 {
     hash
 }
 
+/// Observes every committed mutation flowing through a [`ShardedDb`].
+///
+/// The hook for externally-maintained read structures (e.g. the one-sided
+/// GET index): callbacks run *inside* the owning shard's writer-lock
+/// scope, so for any single key the observer sees mutations in exactly
+/// the order the shard applied them — two racing writers to the same key
+/// can never leave the observer's view and the database disagreeing about
+/// which write was last.
+///
+/// Callbacks must not call back into the database (the shard writer lock
+/// is held) and should be quick: their cost serializes with all writes to
+/// the shard.
+pub trait WriteObserver: Send + Sync {
+    /// A key/value pair was written.
+    fn on_put(&self, key: &[u8], value: &[u8]);
+    /// A key was deleted.
+    fn on_del(&self, key: &[u8]);
+}
+
 /// N independent [`Database`] shards behind one handle (cheaply
 /// cloneable).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ShardedDb {
     shards: Arc<Vec<Database>>,
+    /// Write observer shared by every clone of this handle (preloads that
+    /// bypass the RPC layer still flow through it).
+    observer: Arc<parking_lot::RwLock<Option<Arc<dyn WriteObserver>>>>,
+}
+
+impl std::fmt::Debug for ShardedDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDb")
+            .field("shards", &self.shards.len())
+            .field("observed", &self.observer.read().is_some())
+            .finish()
+    }
 }
 
 impl ShardedDb {
-    /// Create an in-memory sharded database. `shards` is clamped to
-    /// `1..=`[`MAX_SHARDS`].
+    /// Create an in-memory sharded database. Callers resolving a hint
+    /// should pass a value already clamped through
+    /// [`clamp_shard_count`]; the constructor re-clamps defensively so a
+    /// raw count can never build an empty or runaway shard vector.
     pub fn new(config: DbConfig, shards: u32) -> ShardedDb {
-        let n = shards.clamp(1, MAX_SHARDS) as usize;
-        ShardedDb { shards: Arc::new((0..n).map(|_| Database::new(config.clone())).collect()) }
+        let n = clamp_shard_count(shards) as usize;
+        ShardedDb {
+            shards: Arc::new((0..n).map(|_| Database::new(config.clone())).collect()),
+            observer: Arc::new(parking_lot::RwLock::new(None)),
+        }
     }
 
     /// Open (or create) a persistent sharded database: one WAL file per
     /// shard under `dir`. Reopening must use the same shard count.
     pub fn open(dir: &Path, config: DbConfig, shards: u32) -> std::io::Result<ShardedDb> {
         std::fs::create_dir_all(dir)?;
-        let n = shards.clamp(1, MAX_SHARDS) as usize;
+        let n = clamp_shard_count(shards) as usize;
         let mut opened = Vec::with_capacity(n);
         for i in 0..n {
             opened.push(Database::open(&Self::wal_path(dir, i), config.clone())?);
         }
-        Ok(ShardedDb { shards: Arc::new(opened) })
+        Ok(ShardedDb {
+            shards: Arc::new(opened),
+            observer: Arc::new(parking_lot::RwLock::new(None)),
+        })
+    }
+
+    /// Install (or replace) the write observer. Existing contents are
+    /// *not* replayed — callers maintaining an external structure should
+    /// install the observer first, or scan and seed it themselves.
+    pub fn set_write_observer(&self, observer: Arc<dyn WriteObserver>) {
+        *self.observer.write() = Some(observer);
+    }
+
+    /// Remove the write observer.
+    pub fn clear_write_observer(&self) {
+        *self.observer.write() = None;
     }
 
     /// The WAL file backing shard `i` of a database at `dir`.
@@ -131,15 +190,31 @@ impl ShardedDb {
         self.shards[self.shard_of(key)].get(key)
     }
 
-    /// Single-key autocommit write, routed to the owning shard.
+    /// Single-key autocommit write, routed to the owning shard. The
+    /// observer (if any) runs while the shard writer lock is held, so
+    /// per-key observer order always matches database commit order.
     pub fn put(&self, key: &[u8], value: &[u8]) {
-        self.shards[self.shard_of(key)].put(key, value);
+        // Clone the observer handle out before taking the shard lock:
+        // holding the registry read guard across the shard lock would
+        // invert multi_put's lock order and deadlock against a queued
+        // set/clear_write_observer writer.
+        let observer = self.observer.read().clone();
+        let mut txn = self.shards[self.shard_of(key)].begin_write().expect("writer lock");
+        txn.put(key, value);
+        if let Some(obs) = &observer {
+            obs.on_put(key, value);
+        }
+        txn.commit();
     }
 
     /// Single-key autocommit delete; returns whether the key existed.
     pub fn del(&self, key: &[u8]) -> bool {
+        let observer = self.observer.read().clone();
         let mut txn = self.shards[self.shard_of(key)].begin_write().expect("writer lock");
         let existed = txn.del(key);
+        if let Some(obs) = &observer {
+            obs.on_del(key);
+        }
         txn.commit();
         existed
     }
@@ -151,6 +226,7 @@ impl ShardedDb {
         for (k, v) in pairs {
             groups[self.shard_of(&k)].push((k, v));
         }
+        let observer = self.observer.read().clone();
         for (shard, group) in self.shards.iter().zip(&groups) {
             if group.is_empty() {
                 continue;
@@ -158,6 +234,9 @@ impl ShardedDb {
             let mut txn = shard.begin_write().expect("writer lock");
             for (k, v) in group {
                 txn.put(k, v);
+                if let Some(obs) = &observer {
+                    obs.on_put(k, v);
+                }
             }
             txn.commit();
         }
@@ -360,6 +439,73 @@ mod tests {
     fn shard_count_is_clamped() {
         assert_eq!(db(0).shard_count(), 1);
         assert_eq!(ShardedDb::new(DbConfig::default(), 1000).shard_count(), MAX_SHARDS as usize);
+    }
+
+    /// The write observer sees every mutation, and per-key event order
+    /// matches commit order even under concurrent same-key writers —
+    /// the callback runs inside the shard writer-lock scope.
+    #[test]
+    fn write_observer_sees_all_mutations_in_per_key_order() {
+        use std::sync::Mutex;
+
+        type Event = (Vec<u8>, Option<Vec<u8>>);
+
+        #[derive(Default)]
+        struct Recorder {
+            events: Mutex<Vec<Event>>,
+        }
+        impl WriteObserver for Recorder {
+            fn on_put(&self, key: &[u8], value: &[u8]) {
+                self.events.lock().unwrap().push((key.to_vec(), Some(value.to_vec())));
+            }
+            fn on_del(&self, key: &[u8]) {
+                self.events.lock().unwrap().push((key.to_vec(), None));
+            }
+        }
+
+        let db = db(4);
+        let rec = std::sync::Arc::new(Recorder::default());
+        db.set_write_observer(rec.clone());
+
+        db.put(b"a", b"1");
+        db.multi_put([(b"a".to_vec(), b"2".to_vec()), (b"b".to_vec(), b"1".to_vec())]);
+        db.del(b"b");
+        {
+            let events = rec.events.lock().unwrap();
+            assert_eq!(events.len(), 4);
+            let a: Vec<_> = events.iter().filter(|(k, _)| k == b"a").collect();
+            assert_eq!(
+                a,
+                [&(b"a".to_vec(), Some(b"1".to_vec())), &(b"a".to_vec(), Some(b"2".to_vec()))]
+            );
+            assert_eq!(events.last().unwrap(), &(b"b".to_vec(), None));
+        }
+
+        // Concurrent same-key writers: the observer's last event for the
+        // key must carry the value the database actually holds.
+        rec.events.lock().unwrap().clear();
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u8 {
+                    db.put(b"hot", &[t, i]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        {
+            let events = rec.events.lock().unwrap();
+            assert_eq!(events.len(), 200);
+            let last = events.last().unwrap().1.clone().unwrap();
+            assert_eq!(db.get(b"hot").unwrap(), last, "observer tail matches committed value");
+        }
+
+        db.clear_write_observer();
+        db.put(b"quiet", b"x");
+        assert_eq!(rec.events.lock().unwrap().len(), 200, "cleared observer sees nothing");
     }
 
     #[test]

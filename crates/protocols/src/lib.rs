@@ -31,6 +31,7 @@ pub mod direct_write;
 pub mod eager;
 pub mod herd;
 pub mod hybrid;
+pub mod onesided;
 pub mod pipeline;
 pub mod read_based;
 pub mod rndv;
@@ -43,6 +44,9 @@ pub use direct_write::{ChainedWriteSend, DirectWriteImm, DirectWriteSend};
 pub use eager::EagerSendRecv;
 pub use herd::Herd;
 pub use hybrid::HybridEagerRndv;
+pub use onesided::{
+    onesided_service, FallbackReason, OneSidedAdvert, OneSidedHost, OneSidedIndex, OneSidedReader,
+};
 pub use pipeline::{
     accept_server_pipelined, connect_client_pipelined, PipelinedAsSync, PipelinedClient, Token,
     PIPELINED_KINDS,

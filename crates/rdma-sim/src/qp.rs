@@ -506,8 +506,14 @@ impl Endpoint {
             let deadline = ie + cfg.scaled(cost.nic_process_ns);
 
             NodeStats::add(&node.stats().outbound_rdma, 1);
-            NodeStats::add(&node.stats().bytes_rx, bytes as u64);
             NodeStats::add(&target.node.stats().inbound_rdma, 1);
+            // Wire accounting is symmetric with the time model above: the
+            // initiator transmits the request descriptor (its serialize
+            // time is reserved on the egress link at `t0`), the target
+            // receives it, then the payload streams back the other way.
+            NodeStats::add(&node.stats().bytes_tx, READ_REQUEST_BYTES as u64);
+            NodeStats::add(&target.node.stats().bytes_rx, READ_REQUEST_BYTES as u64);
+            NodeStats::add(&node.stats().bytes_rx, bytes as u64);
             NodeStats::add(&target.node.stats().bytes_tx, bytes as u64);
 
             // The simulator knows the whole operation's schedule at post
@@ -806,6 +812,55 @@ mod tests {
         assert_eq!(comp.wr_id, 5);
         assert_eq!(comp.opcode, Opcode::Read);
         assert_eq!(cmr.read_vec(0, 13).unwrap(), b"server-secret");
+    }
+
+    /// Pins the READ cost model: the initiator is charged the request
+    /// descriptor on the wire (`bytes_tx`) and the target receives it
+    /// (`bytes_rx`), the payload is charged the other way, and the send
+    /// completion lands only after the response has finished streaming
+    /// back — at minimum request serialize + wire + target turnaround +
+    /// payload serialize + wire + NIC processing on both ends.
+    #[test]
+    fn read_charges_request_header_and_completes_after_response_streams() {
+        let f = Fabric::new(SimConfig::default());
+        let a = f.add_node("initiator");
+        let b = f.add_node("target");
+        let (c, s) = f.connect(&a, &b).unwrap();
+        const LEN: usize = 125_000; // 10 us of line time at 12.5 B/ns
+        let smr = s.pd().register(LEN).unwrap();
+        smr.write(0, &vec![7u8; LEN]).unwrap();
+        let cmr = c.pd().register(LEN).unwrap();
+
+        let before_i = a.stats_snapshot();
+        let before_t = b.stats_snapshot();
+        let t0 = crate::time::now_ns();
+        c.post_send(&[SendWr::read(1, cmr.slice(0, LEN), smr.remote_buf(0, LEN)).signaled()])
+            .unwrap();
+        let comp = c.send_cq().poll_timeout(PollMode::Busy, 1_000_000_000).unwrap();
+        let elapsed = crate::time::now_ns() - t0;
+        assert_eq!(comp.wr_id, 1);
+        assert_eq!(cmr.read_vec(0, 8).unwrap(), vec![7u8; 8]);
+
+        let di = a.stats_snapshot() - before_i;
+        let dt = b.stats_snapshot() - before_t;
+        assert_eq!(di.bytes_tx, READ_REQUEST_BYTES as u64, "initiator pays the request header");
+        assert_eq!(di.bytes_rx, LEN as u64, "initiator receives the payload");
+        assert_eq!(dt.bytes_rx, READ_REQUEST_BYTES as u64, "target receives the request header");
+        assert_eq!(dt.bytes_tx, LEN as u64, "target streams the payload back");
+        assert_eq!((di.outbound_rdma, dt.inbound_rdma), (1, 1));
+
+        let cost = &f.config().cost;
+        let floor = cost.nic_process_ns
+            + cost.serialize_ns(READ_REQUEST_BYTES)
+            + cost.wire_latency_ns
+            + cost.inbound_rdma_turnaround_ns
+            + cost.serialize_ns(LEN)
+            + cost.wire_latency_ns
+            + cost.nic_process_ns;
+        assert!(
+            elapsed >= floor,
+            "completion after {elapsed} ns; the round trip takes at least {floor} ns"
+        );
     }
 
     #[test]

@@ -73,6 +73,14 @@ pub struct NodeStats {
     pub kv_writer_wait_ns: AtomicU64,
     /// Key+value bytes written into the storage backend.
     pub kv_bytes_written: AtomicU64,
+    /// GETs resolved entirely by one-sided READs (server bypassed).
+    pub onesided_gets: AtomicU64,
+    /// One-sided GET attempts that fell back to the RPC path (miss,
+    /// oversized value, or seqlock conflict).
+    pub onesided_fallbacks: AtomicU64,
+    /// Subset of `onesided_fallbacks` caused by a seqlock version
+    /// conflict (a writer raced the two READs).
+    pub onesided_conflicts: AtomicU64,
 }
 
 impl NodeStats {
@@ -135,6 +143,9 @@ impl NodeStats {
             kv_txns: Self::get(&self.kv_txns),
             kv_writer_wait_ns: Self::get(&self.kv_writer_wait_ns),
             kv_bytes_written: Self::get(&self.kv_bytes_written),
+            onesided_gets: Self::get(&self.onesided_gets),
+            onesided_fallbacks: Self::get(&self.onesided_fallbacks),
+            onesided_conflicts: Self::get(&self.onesided_conflicts),
         }
     }
 }
@@ -169,6 +180,9 @@ pub struct NodeStatsSnapshot {
     pub kv_txns: u64,
     pub kv_writer_wait_ns: u64,
     pub kv_bytes_written: u64,
+    pub onesided_gets: u64,
+    pub onesided_fallbacks: u64,
+    pub onesided_conflicts: u64,
 }
 
 impl NodeStatsSnapshot {
@@ -177,7 +191,7 @@ impl NodeStatsSnapshot {
     /// stats --json`, trace summaries): adding a field here is the only
     /// way it shows up in a snapshot, so reports cannot silently miss a
     /// counter.
-    pub fn fields(&self) -> [(&'static str, u64); 27] {
+    pub fn fields(&self) -> [(&'static str, u64); 30] {
         [
             ("wrs_posted", self.wrs_posted),
             ("doorbells", self.doorbells),
@@ -206,6 +220,9 @@ impl NodeStatsSnapshot {
             ("kv_txns", self.kv_txns),
             ("kv_writer_wait_ns", self.kv_writer_wait_ns),
             ("kv_bytes_written", self.kv_bytes_written),
+            ("onesided_gets", self.onesided_gets),
+            ("onesided_fallbacks", self.onesided_fallbacks),
+            ("onesided_conflicts", self.onesided_conflicts),
         ]
     }
 }
@@ -248,6 +265,9 @@ impl std::ops::Sub for NodeStatsSnapshot {
             kv_txns: self.kv_txns.saturating_sub(rhs.kv_txns),
             kv_writer_wait_ns: self.kv_writer_wait_ns.saturating_sub(rhs.kv_writer_wait_ns),
             kv_bytes_written: self.kv_bytes_written.saturating_sub(rhs.kv_bytes_written),
+            onesided_gets: self.onesided_gets.saturating_sub(rhs.onesided_gets),
+            onesided_fallbacks: self.onesided_fallbacks.saturating_sub(rhs.onesided_fallbacks),
+            onesided_conflicts: self.onesided_conflicts.saturating_sub(rhs.onesided_conflicts),
         }
     }
 }
@@ -329,7 +349,7 @@ mod tests {
         NodeStats::add(&s.wrs_posted, 2);
         let snap = s.snapshot();
         let fields = snap.fields();
-        assert_eq!(fields.len(), 27);
+        assert_eq!(fields.len(), 30);
         let names: Vec<_> = fields.iter().map(|(n, _)| *n).collect();
         let mut dedup = names.clone();
         dedup.sort();

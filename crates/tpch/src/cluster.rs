@@ -198,7 +198,7 @@ enum WorkerServer {
 }
 
 enum Conn {
-    Hat(HatClient),
+    Hat(Box<HatClient>),
     Ipoib(TSocket),
 }
 
@@ -306,7 +306,9 @@ impl TpchCluster {
                         }),
                     );
                     servers.push(WorkerServer::Hat(server));
-                    conns.push(Conn::Hat(HatClient::new(fabric, &coord, &service, &schema)));
+                    conns.push(Conn::Hat(Box::new(HatClient::new(
+                        fabric, &coord, &service, &schema,
+                    ))));
                 }
             }
         }

@@ -93,9 +93,32 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
-    /// Mean of recorded values (0 when empty).
+    /// Clamp a derived statistic into `[min, max]` of the recorded
+    /// values. `min` and `max` are separate relaxed atomics updated after
+    /// `count`, so a reader racing `record` can observe `min > max`
+    /// (e.g. `count` bumped, `min` updated, `max` not yet) — in that
+    /// window the range is meaningless and the raw value is returned
+    /// unclamped rather than feeding an inverted range to `clamp` (which
+    /// panics on `min > max`).
+    #[inline]
+    fn clamp_to_range(&self, v: u64) -> u64 {
+        let (min, max) = (self.min(), self.max());
+        if min <= max {
+            v.clamp(min, max)
+        } else {
+            v
+        }
+    }
+
+    /// Mean of recorded values (0 when empty), clamped into
+    /// `[min, max]`: `sum` and `count` are loaded separately under
+    /// concurrent `record`, so the raw quotient can transiently exceed
+    /// the true maximum (a fresh `sum` divided by a stale `count`).
     pub fn mean(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+        match self.sum.load(Ordering::Relaxed).checked_div(self.count()) {
+            Some(raw) => self.clamp_to_range(raw),
+            None => 0,
+        }
     }
 
     /// The `q`-quantile (`0.0 < q <= 1.0`): upper bound of the bucket the
@@ -110,7 +133,7 @@ impl Histogram {
         for i in 0..BUCKETS {
             seen += self.counts[i].load(Ordering::Relaxed);
             if seen >= rank {
-                return bucket_upper(i).clamp(self.min(), self.max());
+                return self.clamp_to_range(bucket_upper(i));
             }
         }
         self.max()
@@ -300,6 +323,41 @@ mod tests {
             assert_eq!(h.percentile(q), 4096);
         }
         assert_eq!(h.mean(), 4096);
+    }
+
+    /// `sum` and `count` are separate relaxed atomics: a reader can see
+    /// a `sum` that includes values whose `count` increment it missed.
+    /// Reproduce that interleaving directly and check the mean is
+    /// clamped into the recorded range instead of exceeding `max`.
+    #[test]
+    fn mean_is_clamped_under_torn_sum_count() {
+        let h = Histogram::default();
+        h.record(100);
+        h.record(200);
+        // A concurrent `record(1_000_000)` has bumped `sum` but not yet
+        // `count` / `max` from the reader's point of view.
+        h.sum.fetch_add(1_000_000, Ordering::Relaxed);
+        assert_eq!(h.mean(), 200, "mean clamps to the recorded max");
+    }
+
+    /// A reader racing the very first `record` can observe `count > 0`
+    /// while `max` is still the initial 0 and `min` already updated —
+    /// an inverted range that used to panic `clamp` inside
+    /// `percentile`. Reproduce the interleaving; both `percentile` and
+    /// `mean` must stay panic-free.
+    #[test]
+    fn inverted_min_max_race_does_not_panic() {
+        let h = Histogram::default();
+        // First `record(5)` in flight: bucket + count + min visible,
+        // max store not yet.
+        h.counts[bucket(5)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(5, Ordering::Relaxed);
+        h.min.fetch_min(5, Ordering::Relaxed);
+        assert!(h.min() > h.max(), "interleaving sets up the inverted range");
+        let p = h.percentile(0.5);
+        assert!(p <= 7, "upper bound of the value's bucket at most");
+        let _ = h.mean();
     }
 
     #[test]

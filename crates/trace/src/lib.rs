@@ -154,6 +154,13 @@ pub enum Phase {
     Burst = 14,
     /// Free-form annotation; the message lives in the side table.
     Note = 15,
+    /// Protocol: one READ phase of a one-sided GET completed
+    /// (`arg` = bytes fetched; two per resolved key — index slot, then
+    /// value cell).
+    OneSidedRead = 16,
+    /// Protocol: a one-sided GET gave up and fell back to the RPC path
+    /// (`arg` = reason: 1 miss, 2 oversized, 3 seqlock conflict).
+    OneSidedFallback = 17,
 }
 
 impl Phase {
@@ -176,6 +183,8 @@ impl Phase {
             Phase::Flush => "flush",
             Phase::Burst => "burst",
             Phase::Note => "note",
+            Phase::OneSidedRead => "onesided_read",
+            Phase::OneSidedFallback => "onesided_fallback",
         }
     }
 
@@ -195,7 +204,7 @@ impl Phase {
             | Phase::Delivered
             | Phase::Completion
             | Phase::Wakeup => "sim",
-            Phase::Flush | Phase::Burst => "proto",
+            Phase::Flush | Phase::Burst | Phase::OneSidedRead | Phase::OneSidedFallback => "proto",
             Phase::Note => "note",
         }
     }
@@ -217,6 +226,8 @@ impl Phase {
             12 => Phase::Wakeup,
             13 => Phase::Flush,
             14 => Phase::Burst,
+            16 => Phase::OneSidedRead,
+            17 => Phase::OneSidedFallback,
             _ => Phase::Note,
         }
     }
@@ -525,7 +536,7 @@ mod tests {
 
     #[test]
     fn phase_names_and_categories_cover_all() {
-        for v in 0..=15u8 {
+        for v in 0..=17u8 {
             let p = Phase::from_u8(v);
             assert!(!p.name().is_empty());
             assert!(matches!(p.category(), "rpc" | "sim" | "proto" | "note"));

@@ -112,6 +112,12 @@ impl WorkloadSpec {
         }
     }
 
+    /// Classic YCSB-C (100% GET, Zipfian request keys) — the read-heavy
+    /// mix where a server-bypass GET path shows its full effect.
+    pub fn read_only(record_count: usize) -> WorkloadSpec {
+        Self::base(record_count)
+    }
+
     fn base(record_count: usize) -> WorkloadSpec {
         WorkloadSpec {
             proportions: [1.0, 0.0, 0.0, 0.0],
