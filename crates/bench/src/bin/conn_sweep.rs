@@ -1,0 +1,296 @@
+//! `conn_sweep` — connection-scaling sweep for the completion-driven
+//! reactor server, emitting `BENCH_connections.json`.
+//!
+//! ```text
+//! conn_sweep [--check-speedup] [--out PATH] [--points 100,1000,10000]
+//!            [--window-ms N] [--payload N] [--client-threads N]
+//!            [--time-scale F]
+//! ```
+//!
+//! For each point N, N clients each keep one async call in flight on a
+//! depth-2 pipelined channel (64 B echo, Eager-SendRecv + event polling
+//! from a `perf_goal = res_util` hint) against the same service under
+//! two threading policies at the same core budget:
+//!
+//! * `reactor` — [`ServerPolicy::Reactor`]: one driver thread
+//!   multiplexes every connection's completion state machine,
+//! * `pool-1` — [`ServerPolicy::ThreadPool(1)`]: the classic
+//!   thread-per-connection model squeezed to the same single serving
+//!   thread (the worker pins one connection until it disconnects — what
+//!   thread-per-connection degrades to when threads are capped).
+//!
+//! Clients are multiplexed over a few OS threads via
+//! `call_async`/`poll_async`, so the sweep itself never spawns N
+//! threads; the scaling wall being measured is the *server's*.
+//!
+//! `--check-speedup` exits non-zero when, at the largest point, the
+//! reactor fails to serve every connection from its one driver
+//! (`reactor_parked_hwm < N`) or falls below 2x the pool's completed
+//! ops — CI runs this as the bench-smoke gate.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use hat_rdma_sim::{Fabric, SimConfig};
+use hatrpc_core::engine::{AsyncCall, CallPolicy, HatClient, HatServer, ServerPolicy};
+use hatrpc_core::service::ServiceSchema;
+
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+const IDL: &str = r#"
+    service Conn {
+        binary echo(1: binary p) [ hint: perf_goal = res_util, payload_size = 64, concurrency = 256, queue_depth = 2, polling = event; ]
+    }
+"#;
+
+struct PointResult {
+    policy: &'static str,
+    conns: usize,
+    ops: u64,
+    ops_per_sec: f64,
+    clients_served: usize,
+    reactor_wakeups: u64,
+    reactor_resumes: u64,
+    reactor_parked_hwm: u64,
+}
+
+struct ClientSlot {
+    client: HatClient,
+    call: Option<AsyncCall>,
+    ops: u64,
+    dead: bool,
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run_point(
+    policy: ServerPolicy,
+    policy_name: &'static str,
+    conns: usize,
+    client_threads: usize,
+    window: Duration,
+    payload: usize,
+    time_scale: f64,
+) -> PointResult {
+    let sim = SimConfig { time_scale, ..SimConfig::default() };
+    let fabric = Fabric::new(sim);
+    let snode = fabric.add_node("server");
+    let schema = ServiceSchema::parse(IDL, "Conn").unwrap();
+    let server = HatServer::serve(
+        &fabric,
+        &snode,
+        "conn",
+        schema.clone(),
+        policy,
+        Arc::new(|| Box::new(|req: &[u8]| req.to_vec())),
+    );
+
+    // One node per client thread (a "client machine" holding a batch of
+    // connections), so host threads and simulated CPUs line up.
+    let threads = client_threads.max(1).min(conns.max(1));
+    let barrier = Arc::new(Barrier::new(threads));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let fabric = fabric.clone();
+        let schema = schema.clone();
+        let barrier = barrier.clone();
+        let share = conns / threads + usize::from(t < conns % threads);
+        handles.push(std::thread::spawn(move || {
+            let cnode = fabric.add_node(&format!("clients-{t}"));
+            // A long deadline: under the capped pool most connections are
+            // intentionally starved, and a mid-window timeout would
+            // poison their channels and turn starvation into reconnect
+            // churn — the sweep measures served ops, not error volume.
+            let policy = CallPolicy {
+                deadline: Duration::from_secs(600),
+                retries: 0,
+                backoff: Duration::ZERO,
+            };
+            let mut slots: Vec<ClientSlot> = (0..share)
+                .map(|_| {
+                    let mut client =
+                        HatClient::new(&fabric, &cnode, "conn", &schema).with_policy(policy);
+                    let dead = client.warm_all().is_err();
+                    ClientSlot { client, call: None, ops: 0, dead }
+                })
+                .collect();
+            let req = vec![0x5au8; payload];
+            barrier.wait();
+            let deadline = Instant::now() + window;
+            while Instant::now() < deadline {
+                let mut progressed = false;
+                for slot in slots.iter_mut() {
+                    if slot.dead {
+                        continue;
+                    }
+                    match &mut slot.call {
+                        None => match slot.client.call_async("echo", &req) {
+                            Ok(call) => slot.call = Some(call),
+                            Err(_) => slot.dead = true,
+                        },
+                        Some(call) => match slot.client.poll_async(call) {
+                            Ok(Some(_)) => {
+                                slot.ops += 1;
+                                slot.call = None;
+                                progressed = true;
+                            }
+                            Ok(None) => {}
+                            Err(_) => {
+                                slot.call = None;
+                                slot.dead = true;
+                            }
+                        },
+                    }
+                }
+                if !progressed {
+                    std::thread::yield_now();
+                }
+            }
+            let ops: u64 = slots.iter().map(|s| s.ops).sum();
+            let served = slots.iter().filter(|s| s.ops > 0).count();
+            (ops, served)
+        }));
+    }
+    let mut ops = 0u64;
+    let mut clients_served = 0usize;
+    for h in handles {
+        let (o, s) = h.join().unwrap();
+        ops += o;
+        clients_served += s;
+    }
+    let stats = snode.stats_snapshot();
+    server.shutdown();
+    PointResult {
+        policy: policy_name,
+        conns,
+        ops,
+        ops_per_sec: ops as f64 / window.as_secs_f64(),
+        clients_served,
+        reactor_wakeups: stats.reactor_wakeups,
+        reactor_resumes: stats.reactor_resumes,
+        reactor_parked_hwm: stats.reactor_parked_hwm,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check-speedup");
+    let out_path =
+        flag_value(&args, "--out").unwrap_or_else(|| "BENCH_connections.json".to_string());
+    let points: Vec<usize> = flag_value(&args, "--points")
+        .unwrap_or_else(|| "100,1000,10000".to_string())
+        .split(',')
+        .map(|p| p.trim().parse().expect("int point"))
+        .collect();
+    let window_ms: u64 = flag_value(&args, "--window-ms").map_or(3000, |v| v.parse().expect("int"));
+    let payload: usize = flag_value(&args, "--payload").map_or(64, |v| v.parse().expect("int"));
+    // One load-generator thread by default: the sweep legitimately runs on
+    // single-core CI hosts, where extra busy client threads starve the one
+    // driver thread under test and measure the host scheduler instead.
+    let client_threads: usize =
+        flag_value(&args, "--client-threads").map_or(1, |v| v.parse().expect("int"));
+    let time_scale: f64 =
+        flag_value(&args, "--time-scale").map_or(1.0, |v| v.parse().expect("float"));
+    let window = Duration::from_millis(window_ms);
+
+    let mut rows: Vec<PointResult> = Vec::new();
+    for &conns in &points {
+        for (policy, name) in
+            [(ServerPolicy::Reactor, "reactor"), (ServerPolicy::ThreadPool(1), "pool-1")]
+        {
+            let t0 = Instant::now();
+            let r = run_point(policy, name, conns, client_threads, window, payload, time_scale);
+            eprintln!(
+                "conn_sweep: {name:>7} {conns:>6} conns: {:>9} ops ({:>12.0} ops/s) from \
+                 {:>6} clients, wakeups {} resumes {} parked_hwm {}  [{:.1}s]",
+                r.ops,
+                r.ops_per_sec,
+                r.clients_served,
+                r.reactor_wakeups,
+                r.reactor_resumes,
+                r.reactor_parked_hwm,
+                t0.elapsed().as_secs_f64(),
+            );
+            rows.push(r);
+        }
+    }
+
+    let ops_of = |policy: &str, conns: usize| -> f64 {
+        rows.iter()
+            .find(|r| r.policy == policy && r.conns == conns)
+            .map(|r| r.ops as f64)
+            .unwrap_or(0.0)
+    };
+    let top = *points.iter().max().expect("at least one point");
+    let speedup_at = |conns: usize| ops_of("reactor", conns) / ops_of("pool-1", conns).max(1.0);
+    let top_speedup = speedup_at(top);
+    let top_parked = rows
+        .iter()
+        .find(|r| r.policy == "reactor" && r.conns == top)
+        .map(|r| r.reactor_parked_hwm)
+        .unwrap_or(0);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"conn_sweep\",");
+    let _ = writeln!(json, "  \"payload\": {payload},");
+    let _ = writeln!(json, "  \"window_ms\": {window_ms},");
+    let _ = writeln!(json, "  \"client_threads\": {client_threads},");
+    let _ = writeln!(json, "  \"time_scale\": {time_scale},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"policy\": \"{}\", \"conns\": {}, \"ops\": {}, \"ops_per_sec\": {:.1}, \
+             \"clients_served\": {}, \"reactor_wakeups\": {}, \"reactor_resumes\": {}, \
+             \"reactor_parked_hwm\": {}}}{comma}",
+            r.policy,
+            r.conns,
+            r.ops,
+            r.ops_per_sec,
+            r.clients_served,
+            r.reactor_wakeups,
+            r.reactor_resumes,
+            r.reactor_parked_hwm,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    for &conns in &points {
+        let _ = writeln!(json, "  \"speedup_at_{conns}\": {:.3},", speedup_at(conns));
+    }
+    let _ = writeln!(json, "  \"top_point\": {top},");
+    let _ = writeln!(json, "  \"top_reactor_parked_hwm\": {top_parked},");
+    let _ = writeln!(json, "  \"top_speedup\": {top_speedup:.3}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write BENCH_connections.json");
+    println!("conn_sweep: wrote {out_path}");
+    println!(
+        "conn_sweep: at {top} conns the reactor served {top_parked} connections on one driver, \
+         {top_speedup:.2}x the capped pool's ops"
+    );
+
+    if check {
+        let mut failed = false;
+        if top_parked < top as u64 {
+            eprintln!(
+                "conn_sweep: FAIL — reactor driver parked {top_parked} connections at the \
+                 {top}-conn point; every connection must ride the one driver thread"
+            );
+            failed = true;
+        }
+        if top_speedup < SPEEDUP_FLOOR {
+            eprintln!(
+                "conn_sweep: FAIL — reactor speedup {top_speedup:.2}x at {top} conns is below \
+                 the {SPEEDUP_FLOOR}x floor"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -225,7 +225,9 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
     let spec = cfg.workload.spec(cfg.records);
 
     enum Server {
-        Hat(HatKvServer),
+        // Boxed: HatKvServer carries the engine's reactor/thread plumbing
+        // and dwarfs the comparator variant.
+        Hat(Box<HatKvServer>),
         Comp(ComparatorServer),
     }
     let (server, db) = match cfg.system.comparator() {
@@ -245,7 +247,7 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
             );
             let server = HatKvServer::start_with_schema(&fabric, &snode, "kv", schema, db_config);
             let db = server.db().clone();
-            (Server::Hat(server), db)
+            (Server::Hat(Box::new(server)), db)
         }
         Some(c) => {
             // Comparators have no hint machinery: the backend is built

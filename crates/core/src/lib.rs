@@ -46,13 +46,15 @@ pub mod dispatch;
 pub mod engine;
 pub mod error;
 pub mod protocol;
+pub mod reactor;
 pub mod selection;
 pub mod service;
 pub mod transport;
 
 pub use dispatch::{decode_reply, encode_call, Router};
-pub use engine::{CallPolicy, HatClient, HatServer, ServerPolicy};
+pub use engine::{AsyncCall, CallPolicy, HatClient, HatServer, ServerPolicy};
 pub use error::{CoreError, Result};
+pub use reactor::{Reactor, ReactorHandle};
 pub use selection::{select_protocol, Selection, SubscriptionBounds};
 pub use service::ServiceSchema;
 pub use transport::{

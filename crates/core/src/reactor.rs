@@ -1,0 +1,341 @@
+//! Completion-driven connection reactor — one driver thread per node.
+//!
+//! The classic [`HatServer`](crate::engine::HatServer) policies burn one
+//! OS thread per live connection (`Threaded`) or pin one connection per
+//! pool worker until it disconnects (`ThreadPool`). Either way, N
+//! concurrent clients cost N threads — the thread-explosion wall the
+//! paper's event-polling hints are meant to push back.
+//!
+//! [`Reactor`] inverts the model: a **single driver thread** owns the
+//! CQ-drain loop for every reactor-capable connection accepted on its
+//! node. Each connection is a [`ReactorServe`] state machine (the
+//! pipelined protocol servers, which already decouple "a request is
+//! ready" from "a thread is blocked on it").
+//!
+//! ## Demux: per-connection ready queue, not an O(N) sweep
+//!
+//! Each connection's recv CQ gets a [`ConnWaker`] ([`CqNotify`]): on
+//! completion push it enqueues the connection's slab index on a shared
+//! ready list (deduplicated by an armed flag) and notifies the driver's
+//! park waker. The driver therefore does O(ready) work per wakeup —
+//! drain exactly the connections whose CQs fired — instead of re-polling
+//! all N connections per event, which is what lets one thread hold 10k
+//! mostly-idle connections without burning the core.
+//!
+//! ## Waker protocol (lost-wakeup safety)
+//!
+//! A connection's armed flag is cleared *before* its drain runs, so a
+//! completion landing mid-drain re-enqueues it; the park waker latches
+//! its notified flag and [`CqWaker::park_timeout`] consumes it before
+//! sleeping (compare-and-park), so a notify that lands between the
+//! driver's last pop and its park returns immediately. The sim-side
+//! fan-out in the CQ push path runs notifiers **after** the entry is in
+//! the heap, so a woken driver always finds the work that woke it. The
+//! notify timestamp of the first unconsumed notify rides back from
+//! `park_timeout`, giving an honest *time-to-resume* measurement
+//! (recorded into the `Reactor/time_to_resume` latency histogram and the
+//! `reactor_wakeup` trace phase).
+//!
+//! ## Shutdown
+//!
+//! A response can only be posted on a live endpoint, so the engine
+//! shuts down in drain-then-close order: it stops accepting, asks the
+//! driver to drain — the driver sweeps until every connection's CQ is
+//! empty (bounded by a grace period) — and only then closes the
+//! endpoints. A depth-16 pipelined burst in flight when shutdown is
+//! called gets all 16 responses.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hat_protocols::ReactorServe;
+use hat_rdma_sim::{now_ns, CqNotify, CqWaker, Node, NodeStats};
+use hat_trace::Phase;
+
+/// How long the driver parks between wakeups. Purely a backstop — the
+/// waker protocol guarantees no event is missed — so it only bounds how
+/// fast the driver notices the stop flag when fully idle.
+const PARK: Duration = Duration::from_micros(200);
+
+/// Host-time grace the drain phase gets to flush in-flight completions
+/// after shutdown is signalled.
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+/// Per-connection raw-message handler, as produced by the engine's
+/// handler factory (already trace-wrapped when tracing is on).
+pub type ConnHandler = Box<dyn FnMut(&[u8]) -> Vec<u8> + Send>;
+
+/// A registered connection: protocol state machine + its handler + the
+/// waker that queues it for the driver.
+struct Conn {
+    server: Box<dyn ReactorServe>,
+    handler: ConnHandler,
+    waker: Arc<ConnWaker>,
+}
+
+/// Readiness state shared by every connection's waker and the driver.
+struct Ready {
+    queue: parking_lot::Mutex<Vec<usize>>,
+    /// Parked driver thread to kick after enqueueing.
+    park: CqWaker,
+}
+
+/// Per-connection [`CqNotify`]: enqueue my slab index once per arming.
+struct ConnWaker {
+    idx: usize,
+    /// True while the index sits in the ready queue (dedup). Cleared by
+    /// the driver before draining, so a completion that lands mid-drain
+    /// re-enqueues the connection.
+    armed: AtomicBool,
+    ready: Arc<Ready>,
+}
+
+impl CqNotify for ConnWaker {
+    fn notify(&self) {
+        if !self.armed.swap(true, Ordering::AcqRel) {
+            self.ready.queue.lock().push(self.idx);
+        }
+        self.ready.park.notify();
+    }
+}
+
+/// A negotiated-but-not-yet-adopted connection queued for the driver.
+type Registration = (Box<dyn ReactorServe>, ConnHandler);
+
+/// Registration queue shared between accept loop and driver.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    incoming: Arc<parking_lot::Mutex<Vec<Registration>>>,
+    ready: Arc<Ready>,
+}
+
+impl ReactorHandle {
+    /// Hand a freshly negotiated connection to the driver. The driver
+    /// adopts it on its next pass, wires its recv CQ into the ready
+    /// queue, and treats it as initially ready — a request that raced
+    /// ahead of waker registration is still served.
+    ///
+    /// Deliberately does NOT kick the park waker: the park is already
+    /// bounded (a registration waits at most one park period to be
+    /// adopted), and an eager wake per accept turns a 10k-connection
+    /// ramp into a context-switch storm between the accept thread and
+    /// the driver on small hosts.
+    pub fn register(&self, server: Box<dyn ReactorServe>, handler: ConnHandler) {
+        self.incoming.lock().push((server, handler));
+    }
+}
+
+/// One CQ-drain driver thread multiplexing every reactor connection on a
+/// node. Built by [`Reactor::start`], torn down by [`Reactor::shutdown`].
+pub struct Reactor {
+    handle: ReactorHandle,
+    stop: Arc<AtomicBool>,
+    driver: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor").finish_non_exhaustive()
+    }
+}
+
+impl Reactor {
+    /// Spawn the driver thread for `node`.
+    pub fn start(node: &Arc<Node>) -> Reactor {
+        let ready =
+            Arc::new(Ready { queue: parking_lot::Mutex::new(Vec::new()), park: CqWaker::new() });
+        let incoming: Arc<parking_lot::Mutex<Vec<Registration>>> = Default::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = ReactorHandle { incoming: incoming.clone(), ready: ready.clone() };
+        let node = node.clone();
+        let stop2 = stop.clone();
+        let driver = std::thread::spawn(move || drive(&node, &incoming, &ready, &stop2));
+        Reactor { handle, stop, driver: Some(driver) }
+    }
+
+    /// Cloneable registration handle for the accept loop.
+    pub fn handle(&self) -> ReactorHandle {
+        self.handle.clone()
+    }
+
+    /// Signal the driver to drain and stop, then join it. Connections
+    /// with completions already in flight are served before the driver
+    /// exits (bounded by a grace period).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.handle.ready.park.notify();
+        if let Some(t) = self.driver.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.handle.ready.park.notify();
+        if let Some(t) = self.driver.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The driver loop: adopt new connections, drain the ready ones, park
+/// when the ready queue is empty; on stop, sweep everything until every
+/// CQ is empty or the grace expires.
+fn drive(
+    node: &Arc<Node>,
+    incoming: &parking_lot::Mutex<Vec<Registration>>,
+    ready: &Arc<Ready>,
+    stop: &AtomicBool,
+) {
+    // Slab of connections: ready-queue entries are indices, so retired
+    // slots go to None (a stale queued index is skipped) and are reused.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut batch: Vec<usize> = Vec::new();
+    let stats = node.stats();
+    let node_id = node.id();
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        // Adopt connections the accept loop negotiated since last pass.
+        {
+            let mut q = incoming.lock();
+            for (server, handler) in q.drain(..) {
+                let idx = free.pop().unwrap_or(conns.len());
+                let waker = Arc::new(ConnWaker {
+                    idx,
+                    // Born armed + queued: a request that arrived before
+                    // this registration fired no notify we could see.
+                    armed: AtomicBool::new(true),
+                    ready: ready.clone(),
+                });
+                server.cq().register_notify(&waker);
+                ready.queue.lock().push(idx);
+                let conn = Conn { server, handler, waker };
+                if idx == conns.len() {
+                    conns.push(Some(conn));
+                } else {
+                    conns[idx] = Some(conn);
+                }
+            }
+        }
+
+        let stopping = stop.load(Ordering::Acquire);
+        if stopping {
+            // Drain mode: sweep every live connection (ignoring the ready
+            // queue) until all CQs are empty or the grace expires, so
+            // accepted-but-unanswered requests get their responses before
+            // the engine closes the endpoints. Requests still riding the
+            // simulated wire live in the node's effect queue, not any CQ,
+            // so they gate the drain too.
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+            node.drain_effects();
+            let mut pending = node.next_effect_deadline().is_some();
+            for slot in conns.iter_mut() {
+                let Some(conn) = slot else { continue };
+                if conn.server.drain(&mut conn.handler).is_err() {
+                    *slot = None;
+                    continue;
+                }
+                if !conn.server.cq().is_empty() {
+                    pending = true;
+                }
+            }
+            if !pending || Instant::now() >= deadline {
+                return;
+            }
+            std::thread::yield_now();
+            continue;
+        }
+
+        // Pop this pass's ready batch. O(ready): connections whose CQs
+        // stayed quiet cost nothing.
+        batch.clear();
+        {
+            let mut q = ready.queue.lock();
+            std::mem::swap(&mut *q, &mut batch);
+        }
+        let mut served_any = false;
+        for &idx in &batch {
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else { continue };
+            // Disarm before draining: a completion landing mid-drain
+            // re-queues the connection instead of being absorbed into a
+            // flag we are about to consume.
+            conn.waker.armed.store(false, Ordering::Release);
+            match conn.server.drain(&mut conn.handler) {
+                Ok(served) => {
+                    if served > 0 {
+                        served_any = true;
+                        NodeStats::add(&stats.reactor_resumes, 1);
+                        if hat_trace::enabled() {
+                            hat_trace::event(
+                                Phase::ReactorResume,
+                                node_id,
+                                0,
+                                served as u64,
+                                now_ns(),
+                            );
+                        }
+                    }
+                    // Entries can be queued but not yet ready (virtual
+                    // completion deadlines in the future): re-arm so the
+                    // next pass retries them instead of stranding them
+                    // until the next notify.
+                    if !conn.server.cq().is_empty() {
+                        conn.waker.notify();
+                        continue;
+                    }
+                    // Retire a dead connection only once its CQ is dry:
+                    // close() doesn't cancel scheduled deliveries, so a
+                    // drained-then-closed peer still gets its responses.
+                    if !conn.server.is_open() {
+                        conns[idx] = None;
+                        free.push(idx);
+                    }
+                }
+                Err(_) => {
+                    // Protocol-level failure (QP flush, node kill): the
+                    // connection is unrecoverable server-side; the client
+                    // sees a typed error from its own endpoint.
+                    conns[idx] = None;
+                    free.push(idx);
+                }
+            }
+        }
+
+        if ready.queue.lock().is_empty() {
+            let live = conns.iter().filter(|c| c.is_some()).count() as u64;
+            stats.note_reactor_parked(live);
+            // The passive sim applies a node's deferred effects (requests
+            // riding the wire) only when some thread observes the node —
+            // with every connection parked on this driver, the driver IS
+            // that thread. Applying a due effect pushes its completion,
+            // which notifies a ConnWaker, which latches the park waker: a
+            // request that became due right here is picked up without
+            // sleeping. Future-due effects bound the park instead (their
+            // application fires no notify we could park on).
+            node.drain_effects();
+            let park = match node.next_effect_deadline() {
+                Some(dl) => Duration::from_nanos(
+                    dl.saturating_sub(now_ns()).clamp(1_000, PARK.as_nanos() as u64),
+                ),
+                None => PARK,
+            };
+            if let Some(notified_at) = ready.park.park_timeout(park) {
+                NodeStats::add(&stats.reactor_wakeups, 1);
+                let resume_ns = now_ns().saturating_sub(notified_at);
+                hat_trace::hist::record_latency("Reactor", "time_to_resume", 0, resume_ns);
+                if hat_trace::enabled() {
+                    hat_trace::event(Phase::ReactorWakeup, node_id, 0, resume_ns, now_ns());
+                }
+            }
+        } else if !served_any {
+            // Every queued connection is waiting on a future-ready CQ
+            // entry: let the fabric's clock advance instead of re-draining
+            // in a hot spin.
+            std::thread::yield_now();
+        }
+    }
+}

@@ -119,6 +119,20 @@ impl HatKvServer {
         schema: ServiceSchema,
         db: ShardedDb,
     ) -> HatKvServer {
+        Self::start_with_db_policy(fabric, node, service, schema, db, ServerPolicy::Threaded)
+    }
+
+    /// Like [`HatKvServer::start_with_db`] with an explicit threading
+    /// policy — deployments expecting many mostly-idle clients run
+    /// [`ServerPolicy::Reactor`] to multiplex them on one driver thread.
+    pub fn start_with_db_policy(
+        fabric: &Fabric,
+        node: &Arc<Node>,
+        service: &str,
+        schema: ServiceSchema,
+        db: ShardedDb,
+        policy: ServerPolicy,
+    ) -> HatKvServer {
         // Hint-selected server bypass: when the schema asks for one-sided
         // GETs, publish the MR-backed index before serving any RPC, keep
         // it current from the write path, and seed it with whatever the
@@ -154,7 +168,7 @@ impl HatKvServer {
             node,
             service,
             schema.clone(),
-            ServerPolicy::Threaded,
+            policy,
             Arc::new(move || {
                 let mut processor = HatKVProcessor::new(factory_handler.clone());
                 Box::new(move |req: &[u8]| processor.handle(req))

@@ -48,8 +48,8 @@ pub use onesided::{
     onesided_service, FallbackReason, OneSidedAdvert, OneSidedHost, OneSidedIndex, OneSidedReader,
 };
 pub use pipeline::{
-    accept_server_pipelined, connect_client_pipelined, PipelinedAsSync, PipelinedClient, Token,
-    PIPELINED_KINDS,
+    accept_server_pipelined, accept_server_reactor, connect_client_pipelined, PipelinedAsSync,
+    PipelinedClient, ReactorServe, Token, PIPELINED_KINDS,
 };
 pub use read_based::{Farm, Pilaf, Rfp};
 pub use rndv::{ReadRndv, WriteRndv};

@@ -68,6 +68,14 @@ pub trait PipelinedClient: Send {
     /// on unknown/already-taken tokens and on channel failure.
     fn wait(&mut self, token: Token) -> Result<PoolBuf>;
 
+    /// Non-blocking variant of [`Self::wait`]: flush staged work, drain
+    /// whatever the CQ has ready, and take `token`'s response if it has
+    /// arrived. `Ok(None)` means the response is still in flight — the
+    /// substrate for async callers (a reactor or [`Future`]-style poll
+    /// loop) that must never park a thread inside the channel. Errors on
+    /// unknown/already-taken tokens and on channel failure, like `wait`.
+    fn try_wait(&mut self, token: Token) -> Result<Option<PoolBuf>>;
+
     /// The window size: the maximum number of in-flight requests.
     fn window(&self) -> usize;
 
@@ -363,6 +371,12 @@ impl PipelinedClient for PipelinedEager {
         }
     }
 
+    fn try_wait(&mut self, token: Token) -> Result<Option<PoolBuf>> {
+        self.flush()?;
+        self.pump()?;
+        self.win.try_take(token)
+    }
+
     fn window(&self) -> usize {
         self.win.len()
     }
@@ -387,6 +401,9 @@ pub struct PipelinedEagerServer {
     recv_ring: MemoryRegion,
     send_ring: MemoryRegion,
     slot_size: usize,
+    /// Reusable response-staging scratch for reactor drains, so a driver
+    /// multiplexing thousands of connections allocates nothing per resume.
+    drain_staged: Vec<SendWr>,
 }
 
 impl PipelinedEagerServer {
@@ -401,7 +418,8 @@ impl PipelinedEagerServer {
         // SEND is long done by the time a new request can occupy recv slot
         // `i` (the client recycles a slot only after taking its response).
         let send_ring = ep.pd().register(cfg.ring_slots * slot_size)?;
-        Ok(PipelinedEagerServer { ep, cfg, recv_ring, send_ring, slot_size })
+        let drain_staged = Vec::with_capacity(cfg.ring_slots);
+        Ok(PipelinedEagerServer { ep, cfg, recv_ring, send_ring, slot_size, drain_staged })
     }
 
     /// Handle the request in `comp`'s ring slot, staging (not posting) the
@@ -612,6 +630,14 @@ impl PipelinedClient for PipelinedChainedWrite {
         }
     }
 
+    fn try_wait(&mut self, token: Token) -> Result<Option<PoolBuf>> {
+        self.flush()?;
+        while let Some(msg) = self.ctrl.try_recv()? {
+            self.absorb(&msg)?;
+        }
+        self.win.try_take(token)
+    }
+
     fn window(&self) -> usize {
         self.win.len()
     }
@@ -643,12 +669,12 @@ impl PipelinedChainedWriteServer {
         let (in_ring, out_stage, peer_ring, ctrl) = chained_setup(&ep, &cfg)?;
         Ok(PipelinedChainedWriteServer { ep, cfg, in_ring, out_stage, peer_ring, ctrl })
     }
-}
 
-impl RpcServer for PipelinedChainedWriteServer {
-    fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool> {
-        let Some(msg) = self.ctrl.recv(self.cfg.poll)? else { return Ok(false) };
-        let (len, token) = decode_notify(&msg)?;
+    /// Serve the request a received notify describes: read it out of its
+    /// in-ring stripe, run the handler, and post the WRITE + chained SEND
+    /// response pair.
+    fn respond(&mut self, msg: &[u8], handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<()> {
+        let (len, token) = decode_notify(msg)?;
         let slot = token as usize % self.cfg.ring_slots;
         let base = slot * self.cfg.max_msg;
         let request = self.in_ring.read_vec(base, len)?;
@@ -660,7 +686,14 @@ impl RpcServer for PipelinedChainedWriteServer {
         self.ep.post_send(&[
             SendWr::write(token, self.out_stage.slice(base, response.len()), dst),
             SendWr::send_inline(token, &encode_notify(response.len(), token)),
-        ])?;
+        ])
+    }
+}
+
+impl RpcServer for PipelinedChainedWriteServer {
+    fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool> {
+        let Some(msg) = self.ctrl.recv(self.cfg.poll)? else { return Ok(false) };
+        self.respond(&msg, handler)?;
         Ok(true)
     }
 
@@ -808,6 +841,12 @@ impl PipelinedClient for PipelinedWriteImm {
         }
     }
 
+    fn try_wait(&mut self, token: Token) -> Result<Option<PoolBuf>> {
+        self.flush()?;
+        self.pump()?;
+        self.win.try_take(token)
+    }
+
     fn window(&self) -> usize {
         self.win.len()
     }
@@ -830,6 +869,8 @@ pub struct PipelinedWriteImmServer {
     peer_ring: RemoteBuf,
     imm_dummy: MemoryRegion,
     slot_size: usize,
+    /// Reusable response-staging scratch for reactor drains.
+    drain_staged: Vec<SendWr>,
 }
 
 impl PipelinedWriteImmServer {
@@ -837,7 +878,17 @@ impl PipelinedWriteImmServer {
     pub fn server(ep: Endpoint, cfg: ProtocolConfig) -> Result<PipelinedWriteImmServer> {
         let slot_size = IMM_HDR + cfg.max_msg;
         let (in_ring, out_stage, peer_ring, imm_dummy) = imm_setup(&ep, &cfg, slot_size)?;
-        Ok(PipelinedWriteImmServer { ep, cfg, in_ring, out_stage, peer_ring, imm_dummy, slot_size })
+        let drain_staged = Vec::with_capacity(cfg.ring_slots);
+        Ok(PipelinedWriteImmServer {
+            ep,
+            cfg,
+            in_ring,
+            out_stage,
+            peer_ring,
+            imm_dummy,
+            slot_size,
+            drain_staged,
+        })
     }
 
     /// Handle the request in `comp`'s ring slot, staging (not posting) the
@@ -1095,6 +1146,16 @@ impl PipelinedClient for PipelinedHybrid {
         }
     }
 
+    fn try_wait(&mut self, token: Token) -> Result<Option<PoolBuf>> {
+        self.flush()?;
+        // `pump` absorbs RNDV responses with a nested synchronous READ;
+        // that READ's completion is bounded by the op timeout, so this
+        // stays "non-blocking" in the sense async callers need: it never
+        // parks waiting for the *peer* to produce anything new.
+        self.pump()?;
+        self.win.try_take(token)
+    }
+
     fn window(&self) -> usize {
         self.win.len()
     }
@@ -1133,13 +1194,17 @@ impl PipelinedHybridServer {
         let landing = ep.pd().register(window * cfg.max_msg)?;
         Ok(PipelinedHybridServer { ep, cfg, ring, eager_stage, rndv_stage, landing, slot_size })
     }
-}
 
-impl RpcServer for PipelinedHybridServer {
-    fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool> {
-        let Some(comp) = poll_recv(&self.ep, self.cfg.poll, self.cfg.op_timeout_ns)? else {
-            return Ok(false);
-        };
+    /// Serve the request behind one receive completion: decode the frame,
+    /// READ the rendezvous payload if advertised, run the handler, and
+    /// post the response (eager or RTS). The single `eager_stage` response
+    /// buffer is reused per response, so each response is posted before
+    /// the next request is decoded — hybrid drains cannot doorbell-batch.
+    fn serve_comp(
+        &mut self,
+        comp: hat_rdma_sim::Completion,
+        handler: &mut dyn FnMut(&[u8]) -> Vec<u8>,
+    ) -> Result<()> {
         comp.ok()?;
         let rslot = comp.wr_id as usize % self.cfg.ring_slots;
         let base = rslot * self.slot_size;
@@ -1211,12 +1276,206 @@ impl RpcServer for PipelinedHybridServer {
                 self.eager_stage.slice(0, HY_HDR + RemoteBuf::WIRE_SIZE),
             )])?;
         }
+        Ok(())
+    }
+}
+
+impl RpcServer for PipelinedHybridServer {
+    fn serve_one(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<bool> {
+        let Some(comp) = poll_recv(&self.ep, self.cfg.poll, self.cfg.op_timeout_ns)? else {
+            return Ok(false);
+        };
+        self.serve_comp(comp, handler)?;
         Ok(true)
     }
 
     fn kind(&self) -> ProtocolKind {
         ProtocolKind::HybridEagerRndv
     }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor-driven serving.
+// ---------------------------------------------------------------------------
+
+/// Server side of a pipelined channel driven by an external reactor
+/// instead of a dedicated blocking thread.
+///
+/// [`RpcServer::serve_loop`] owns its thread and parks it inside
+/// `poll_recv` whenever the connection goes quiet; a reactor driver can
+/// afford neither. `ReactorServe` inverts the control flow: the reactor
+/// watches the connection's receive CQ (via [`Self::cq`] +
+/// [`hat_rdma_sim::CqWaker`] registration), and calls [`Self::drain`] when
+/// completions may be ready. `drain` serves every request whose completion
+/// is ready *now* and returns without ever parking, so one driver thread
+/// can resume thousands of connections.
+pub trait ReactorServe: Send {
+    /// Serve every ready request, posting responses (doorbell-batched
+    /// where the protocol's staging memory allows). Returns how many
+    /// requests were served; `Ok(0)` means the CQ had nothing ready.
+    /// An error poisons the connection — the reactor retires it.
+    fn drain(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<usize>;
+
+    /// The CQ this connection's request completions arrive on — the
+    /// reactor registers its waker here and uses queue depth /
+    /// `next_ready_at` to bound its park and gate shutdown drains.
+    fn cq(&self) -> &hat_rdma_sim::CompletionQueue;
+
+    /// False once the peer disconnected or a node died; the reactor
+    /// retires the connection after a final drain.
+    fn is_open(&self) -> bool;
+
+    /// Which protocol this connection speaks.
+    fn kind(&self) -> ProtocolKind;
+}
+
+impl ReactorServe for PipelinedEagerServer {
+    fn drain(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<usize> {
+        let mut staged = std::mem::take(&mut self.drain_staged);
+        staged.clear();
+        let mut served = 0usize;
+        while let Some(comp) = self.ep.recv_cq().try_poll() {
+            self.stage_response(comp, handler, &mut staged)?;
+            served += 1;
+            if staged.len() == self.cfg.ring_slots {
+                note_burst(&self.ep, staged.len());
+                self.ep.post_send(&staged)?;
+                note_doorbell(&self.ep, staged.len());
+                staged.clear();
+            }
+        }
+        if !staged.is_empty() {
+            note_burst(&self.ep, staged.len());
+            self.ep.post_send(&staged)?;
+            note_doorbell(&self.ep, staged.len());
+            staged.clear();
+        }
+        self.drain_staged = staged;
+        Ok(served)
+    }
+
+    fn cq(&self) -> &hat_rdma_sim::CompletionQueue {
+        self.ep.recv_cq()
+    }
+
+    fn is_open(&self) -> bool {
+        self.ep.is_alive()
+    }
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::EagerSendRecv
+    }
+}
+
+impl ReactorServe for PipelinedWriteImmServer {
+    fn drain(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<usize> {
+        let mut staged = std::mem::take(&mut self.drain_staged);
+        staged.clear();
+        let mut served = 0usize;
+        while let Some(comp) = self.ep.recv_cq().try_poll() {
+            self.stage_response(comp, handler, &mut staged)?;
+            served += 1;
+            if staged.len() == self.cfg.ring_slots {
+                note_burst(&self.ep, staged.len());
+                self.ep.post_send(&staged)?;
+                note_doorbell(&self.ep, staged.len());
+                staged.clear();
+            }
+        }
+        if !staged.is_empty() {
+            note_burst(&self.ep, staged.len());
+            self.ep.post_send(&staged)?;
+            note_doorbell(&self.ep, staged.len());
+            staged.clear();
+        }
+        self.drain_staged = staged;
+        Ok(served)
+    }
+
+    fn cq(&self) -> &hat_rdma_sim::CompletionQueue {
+        self.ep.recv_cq()
+    }
+
+    fn is_open(&self) -> bool {
+        self.ep.is_alive()
+    }
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::DirectWriteImm
+    }
+}
+
+impl ReactorServe for PipelinedChainedWriteServer {
+    fn drain(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<usize> {
+        // Each response is a WRITE + chained SEND pair posted under its
+        // own doorbell (the pair itself is one chain, as in `serve_one`).
+        let mut served = 0usize;
+        while let Some(msg) = self.ctrl.try_recv()? {
+            self.respond(&msg, handler)?;
+            served += 1;
+        }
+        Ok(served)
+    }
+
+    fn cq(&self) -> &hat_rdma_sim::CompletionQueue {
+        // Control-ring notifies arrive as receive completions on the
+        // connection's endpoint.
+        self.ep.recv_cq()
+    }
+
+    fn is_open(&self) -> bool {
+        self.ep.is_alive()
+    }
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::ChainedWriteSend
+    }
+}
+
+impl ReactorServe for PipelinedHybridServer {
+    fn drain(&mut self, handler: &mut dyn FnMut(&[u8]) -> Vec<u8>) -> Result<usize> {
+        let mut served = 0usize;
+        while let Some(comp) = self.ep.recv_cq().try_poll() {
+            // A rendezvous request nests a synchronous READ, bounded by
+            // the op timeout — slow, but never an unbounded park.
+            self.serve_comp(comp, handler)?;
+            served += 1;
+        }
+        Ok(served)
+    }
+
+    fn cq(&self) -> &hat_rdma_sim::CompletionQueue {
+        self.ep.recv_cq()
+    }
+
+    fn is_open(&self) -> bool {
+        self.ep.is_alive()
+    }
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::HybridEagerRndv
+    }
+}
+
+/// Construct the reactor-driven server peer of a pipelined channel of
+/// `kind`. Wire-compatible with [`connect_client_pipelined`] clients —
+/// the client cannot tell whether a thread or a reactor serves it.
+pub fn accept_server_reactor(
+    kind: ProtocolKind,
+    ep: Endpoint,
+    cfg: ProtocolConfig,
+) -> Result<Box<dyn ReactorServe>> {
+    Ok(match kind {
+        ProtocolKind::EagerSendRecv => Box::new(PipelinedEagerServer::server(ep, cfg)?),
+        ProtocolKind::ChainedWriteSend => Box::new(PipelinedChainedWriteServer::server(ep, cfg)?),
+        ProtocolKind::DirectWriteImm => Box::new(PipelinedWriteImmServer::server(ep, cfg)?),
+        ProtocolKind::HybridEagerRndv => Box::new(PipelinedHybridServer::server(ep, cfg)?),
+        other => {
+            return Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(
+                "{other} has no pipelined implementation"
+            )))
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------

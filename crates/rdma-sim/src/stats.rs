@@ -81,6 +81,16 @@ pub struct NodeStats {
     /// Subset of `onesided_fallbacks` caused by a seqlock version
     /// conflict (a writer raced the two READs).
     pub onesided_conflicts: AtomicU64,
+    /// Times a reactor driver on this node was woken out of a park by a
+    /// completion notify (each wakeup may resume many connections).
+    pub reactor_wakeups: AtomicU64,
+    /// Connection state machines resumed by a reactor with at least one
+    /// request served; `resumes / wakeups` is the multiplexing figure of
+    /// merit (how many connections each wakeup pays for).
+    pub reactor_resumes: AtomicU64,
+    /// High-water mark of connections parked under one reactor driver when
+    /// it went idle — the connections-per-thread this node sustained.
+    pub reactor_parked_hwm: AtomicU64,
 }
 
 impl NodeStats {
@@ -111,6 +121,12 @@ impl NodeStats {
     /// keeping the high-water mark.
     pub fn note_inflight(&self, n: u64) {
         self.inflight_hwm.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` connections parked under a reactor driver going idle,
+    /// keeping the high-water mark.
+    pub fn note_reactor_parked(&self, n: u64) {
+        self.reactor_parked_hwm.fetch_max(n, Ordering::Relaxed);
     }
 
     /// Snapshot all counters into a plain struct (for printing/asserting).
@@ -146,6 +162,9 @@ impl NodeStats {
             onesided_gets: Self::get(&self.onesided_gets),
             onesided_fallbacks: Self::get(&self.onesided_fallbacks),
             onesided_conflicts: Self::get(&self.onesided_conflicts),
+            reactor_wakeups: Self::get(&self.reactor_wakeups),
+            reactor_resumes: Self::get(&self.reactor_resumes),
+            reactor_parked_hwm: Self::get(&self.reactor_parked_hwm),
         }
     }
 }
@@ -183,6 +202,9 @@ pub struct NodeStatsSnapshot {
     pub onesided_gets: u64,
     pub onesided_fallbacks: u64,
     pub onesided_conflicts: u64,
+    pub reactor_wakeups: u64,
+    pub reactor_resumes: u64,
+    pub reactor_parked_hwm: u64,
 }
 
 impl NodeStatsSnapshot {
@@ -191,7 +213,7 @@ impl NodeStatsSnapshot {
     /// stats --json`, trace summaries): adding a field here is the only
     /// way it shows up in a snapshot, so reports cannot silently miss a
     /// counter.
-    pub fn fields(&self) -> [(&'static str, u64); 30] {
+    pub fn fields(&self) -> [(&'static str, u64); 33] {
         [
             ("wrs_posted", self.wrs_posted),
             ("doorbells", self.doorbells),
@@ -223,6 +245,9 @@ impl NodeStatsSnapshot {
             ("onesided_gets", self.onesided_gets),
             ("onesided_fallbacks", self.onesided_fallbacks),
             ("onesided_conflicts", self.onesided_conflicts),
+            ("reactor_wakeups", self.reactor_wakeups),
+            ("reactor_resumes", self.reactor_resumes),
+            ("reactor_parked_hwm", self.reactor_parked_hwm),
         ]
     }
 }
@@ -268,6 +293,9 @@ impl std::ops::Sub for NodeStatsSnapshot {
             onesided_gets: self.onesided_gets.saturating_sub(rhs.onesided_gets),
             onesided_fallbacks: self.onesided_fallbacks.saturating_sub(rhs.onesided_fallbacks),
             onesided_conflicts: self.onesided_conflicts.saturating_sub(rhs.onesided_conflicts),
+            reactor_wakeups: self.reactor_wakeups.saturating_sub(rhs.reactor_wakeups),
+            reactor_resumes: self.reactor_resumes.saturating_sub(rhs.reactor_resumes),
+            reactor_parked_hwm: self.reactor_parked_hwm.saturating_sub(rhs.reactor_parked_hwm),
         }
     }
 }
@@ -349,7 +377,7 @@ mod tests {
         NodeStats::add(&s.wrs_posted, 2);
         let snap = s.snapshot();
         let fields = snap.fields();
-        assert_eq!(fields.len(), 30);
+        assert_eq!(fields.len(), 33);
         let names: Vec<_> = fields.iter().map(|(n, _)| *n).collect();
         let mut dedup = names.clone();
         dedup.sort();

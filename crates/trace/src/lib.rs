@@ -161,6 +161,12 @@ pub enum Phase {
     /// Protocol: a one-sided GET gave up and fell back to the RPC path
     /// (`arg` = reason: 1 miss, 2 oversized, 3 seqlock conflict).
     OneSidedFallback = 17,
+    /// Engine: a reactor driver was woken out of its park by a completion
+    /// notify (`arg` = notify→resume latency in ns).
+    ReactorWakeup = 18,
+    /// Engine: a reactor resumed a connection state machine and served at
+    /// least one request (`arg` = requests served this resume).
+    ReactorResume = 19,
 }
 
 impl Phase {
@@ -185,6 +191,8 @@ impl Phase {
             Phase::Note => "note",
             Phase::OneSidedRead => "onesided_read",
             Phase::OneSidedFallback => "onesided_fallback",
+            Phase::ReactorWakeup => "reactor_wakeup",
+            Phase::ReactorResume => "reactor_resume",
         }
     }
 
@@ -196,7 +204,9 @@ impl Phase {
             | Phase::ServerBegin
             | Phase::ServerEnd
             | Phase::Retry
-            | Phase::TimedOut => "rpc",
+            | Phase::TimedOut
+            | Phase::ReactorWakeup
+            | Phase::ReactorResume => "rpc",
             Phase::WrPost
             | Phase::Doorbell
             | Phase::NicTx
@@ -228,6 +238,8 @@ impl Phase {
             14 => Phase::Burst,
             16 => Phase::OneSidedRead,
             17 => Phase::OneSidedFallback,
+            18 => Phase::ReactorWakeup,
+            19 => Phase::ReactorResume,
             _ => Phase::Note,
         }
     }
