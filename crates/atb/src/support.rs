@@ -342,7 +342,9 @@ impl AtbServer {
     /// Stop the server.
     pub fn shutdown(self) {
         match self {
-            AtbServer::Hat(s) => s.shutdown(),
+            AtbServer::Hat(s) => {
+                s.shutdown();
+            }
             AtbServer::Fixed { shutdown, mut thread, fabric, service } => {
                 shutdown.store(true, Ordering::Release);
                 fabric.unlisten(&service);

@@ -2,9 +2,9 @@
 //! reactor server, emitting `BENCH_connections.json`.
 //!
 //! ```text
-//! conn_sweep [--check-speedup] [--out PATH] [--points 100,1000,10000]
-//!            [--window-ms N] [--payload N] [--client-threads N]
-//!            [--time-scale F]
+//! conn_sweep [--check-speedup] [--out PATH] [--metrics-out PATH]
+//!            [--points 100,1000,10000] [--window-ms N] [--payload N]
+//!            [--client-threads N] [--time-scale F] [--sample-interval-ms N]
 //! ```
 //!
 //! For each point N, N clients each keep one async call in flight on a
@@ -26,7 +26,11 @@
 //! `--check-speedup` exits non-zero when, at the largest point, the
 //! reactor fails to serve every connection from its one driver
 //! (`reactor_parked_hwm < N`) or falls below 2x the pool's completed
-//! ops — CI runs this as the bench-smoke gate.
+//! ops — CI runs this as the bench-smoke gate. It also cross-checks the
+//! telemetry: every point runs with a hat-metrics sampler attached, its
+//! timeline lands in `METRICS_connections.json`, and the sampled
+//! `calls_ok` deltas summed over the window must agree with the bench's
+//! own completed-op count within 5%.
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Barrier};
@@ -37,6 +41,8 @@ use hatrpc_core::engine::{AsyncCall, CallPolicy, HatClient, HatServer, ServerPol
 use hatrpc_core::service::ServiceSchema;
 
 const SPEEDUP_FLOOR: f64 = 2.0;
+/// Sampled ops must agree with measured ops within this fraction.
+const AGREEMENT_TOLERANCE: f64 = 0.05;
 
 const IDL: &str = r#"
     service Conn {
@@ -53,6 +59,16 @@ struct PointResult {
     reactor_wakeups: u64,
     reactor_resumes: u64,
     reactor_parked_hwm: u64,
+    /// `calls_ok` summed as per-interval deltas over the sampler's
+    /// retained window — the number the 5% agreement check compares to
+    /// `ops`.
+    metrics_window_ops: u64,
+    /// `calls_ok` newest cumulative values summed — exact regardless of
+    /// ring wrap or late node discovery.
+    metrics_total_ops: u64,
+    metrics_ticks: u64,
+    /// Full `hat-metrics-timeline-v1` document for this point.
+    metrics_json: String,
 }
 
 struct ClientSlot {
@@ -66,7 +82,8 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
-fn run_point(
+/// Everything one sweep point needs (policy plus the sweep-wide knobs).
+struct PointConfig {
     policy: ServerPolicy,
     policy_name: &'static str,
     conns: usize,
@@ -74,7 +91,20 @@ fn run_point(
     window: Duration,
     payload: usize,
     time_scale: f64,
-) -> PointResult {
+    sample_interval_ns: u64,
+}
+
+fn run_point(cfg: &PointConfig) -> PointResult {
+    let &PointConfig {
+        policy,
+        policy_name,
+        conns,
+        client_threads,
+        window,
+        payload,
+        time_scale,
+        sample_interval_ns,
+    } = cfg;
     let sim = SimConfig { time_scale, ..SimConfig::default() };
     let fabric = Fabric::new(sim);
     let snode = fabric.add_node("server");
@@ -88,10 +118,24 @@ fn run_point(
         Arc::new(|| Box::new(|req: &[u8]| req.to_vec())),
     );
 
+    // The sampler rides the whole point — client setup included, so the
+    // measured window always sits inside the retained ring (sized to
+    // cover setup plus window at this interval).
+    let mut sampler = hat_metrics::Sampler::attach(
+        &fabric,
+        hat_metrics::SamplerConfig {
+            interval_ns: sample_interval_ns,
+            ring_capacity: 1024,
+            slos: vec![hat_metrics::SloSpec::p99("echo", 100_000_000)],
+        },
+    );
+
     // One node per client thread (a "client machine" holding a batch of
-    // connections), so host threads and simulated CPUs line up.
+    // connections), so host threads and simulated CPUs line up. Main
+    // joins the barrier too: ops start only after the sampler has had
+    // setup time to discover every client node at `calls_ok == 0`.
     let threads = client_threads.max(1).min(conns.max(1));
-    let barrier = Arc::new(Barrier::new(threads));
+    let barrier = Arc::new(Barrier::new(threads + 1));
     let mut handles = Vec::new();
     for t in 0..threads {
         let fabric = fabric.clone();
@@ -154,6 +198,7 @@ fn run_point(
             (ops, served)
         }));
     }
+    barrier.wait();
     let mut ops = 0u64;
     let mut clients_served = 0usize;
     for h in handles {
@@ -161,6 +206,19 @@ fn run_point(
         ops += o;
         clients_served += s;
     }
+    // Tail tick before teardown: the newest samples hold the final
+    // counter values every client thread left behind.
+    sampler.stop();
+    let calls_ok = hat_metrics::field_index("calls_ok").expect("calls_ok is a NodeStats field");
+    let (mut metrics_window_ops, mut metrics_total_ops) = (0u64, 0u64);
+    for tl in sampler.node_timelines() {
+        if let (Some(first), Some(last)) = (tl.samples.first(), tl.samples.last()) {
+            metrics_window_ops += last.values[calls_ok].saturating_sub(first.values[calls_ok]);
+            metrics_total_ops += last.values[calls_ok];
+        }
+    }
+    let metrics_ticks = sampler.ticks();
+    let metrics_json = sampler.timeline_json();
     let stats = snode.stats_snapshot();
     server.shutdown();
     PointResult {
@@ -172,6 +230,10 @@ fn run_point(
         reactor_wakeups: stats.reactor_wakeups,
         reactor_resumes: stats.reactor_resumes,
         reactor_parked_hwm: stats.reactor_parked_hwm,
+        metrics_window_ops,
+        metrics_total_ops,
+        metrics_ticks,
+        metrics_json,
     }
 }
 
@@ -195,6 +257,13 @@ fn main() {
     let time_scale: f64 =
         flag_value(&args, "--time-scale").map_or(1.0, |v| v.parse().expect("float"));
     let window = Duration::from_millis(window_ms);
+    let metrics_out = flag_value(&args, "--metrics-out")
+        .unwrap_or_else(|| "METRICS_connections.json".to_string());
+    // Interval sized so the measured window spans well under the ring
+    // capacity (1024 samples): plenty of timeline resolution, no wrap.
+    let sample_interval_ns: u64 = flag_value(&args, "--sample-interval-ms")
+        .map(|v| v.parse::<u64>().expect("int") * 1_000_000)
+        .unwrap_or_else(|| ((window.as_nanos() as u64) / 160).max(2_000_000));
 
     let mut rows: Vec<PointResult> = Vec::new();
     for &conns in &points {
@@ -202,16 +271,28 @@ fn main() {
             [(ServerPolicy::Reactor, "reactor"), (ServerPolicy::ThreadPool(1), "pool-1")]
         {
             let t0 = Instant::now();
-            let r = run_point(policy, name, conns, client_threads, window, payload, time_scale);
+            let r = run_point(&PointConfig {
+                policy,
+                policy_name: name,
+                conns,
+                client_threads,
+                window,
+                payload,
+                time_scale,
+                sample_interval_ns,
+            });
             eprintln!(
                 "conn_sweep: {name:>7} {conns:>6} conns: {:>9} ops ({:>12.0} ops/s) from \
-                 {:>6} clients, wakeups {} resumes {} parked_hwm {}  [{:.1}s]",
+                 {:>6} clients, wakeups {} resumes {} parked_hwm {}, sampled {} ops over \
+                 {} ticks  [{:.1}s]",
                 r.ops,
                 r.ops_per_sec,
                 r.clients_served,
                 r.reactor_wakeups,
                 r.reactor_resumes,
                 r.reactor_parked_hwm,
+                r.metrics_window_ops,
+                r.metrics_ticks,
                 t0.elapsed().as_secs_f64(),
             );
             rows.push(r);
@@ -268,6 +349,35 @@ fn main() {
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, &json).expect("write BENCH_connections.json");
     println!("conn_sweep: wrote {out_path}");
+
+    // The telemetry artifact: one timeline per point, plus the numbers
+    // the agreement check compares.
+    let mut mjson = String::new();
+    let _ = writeln!(mjson, "{{");
+    let _ = writeln!(mjson, "  \"bench\": \"conn_sweep\",");
+    let _ = writeln!(mjson, "  \"sample_interval_ns\": {sample_interval_ns},");
+    let _ = writeln!(mjson, "  \"agreement_tolerance\": {AGREEMENT_TOLERANCE},");
+    let _ = writeln!(mjson, "  \"points\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            mjson,
+            "    {{\"policy\": \"{}\", \"conns\": {}, \"bench_ops\": {}, \
+             \"metrics_window_ops\": {}, \"metrics_total_ops\": {}, \"ticks\": {}, \
+             \"timeline\": {}}}{comma}",
+            r.policy,
+            r.conns,
+            r.ops,
+            r.metrics_window_ops,
+            r.metrics_total_ops,
+            r.metrics_ticks,
+            r.metrics_json.trim_end(),
+        );
+    }
+    let _ = writeln!(mjson, "  ]");
+    let _ = writeln!(mjson, "}}");
+    std::fs::write(&metrics_out, &mjson).expect("write METRICS_connections.json");
+    println!("conn_sweep: wrote {metrics_out}");
     println!(
         "conn_sweep: at {top} conns the reactor served {top_parked} connections on one driver, \
          {top_speedup:.2}x the capped pool's ops"
@@ -275,6 +385,25 @@ fn main() {
 
     if check {
         let mut failed = false;
+        for r in &rows {
+            if r.ops == 0 {
+                continue;
+            }
+            let err = (r.metrics_window_ops as f64 - r.ops as f64).abs() / r.ops as f64;
+            if err > AGREEMENT_TOLERANCE {
+                eprintln!(
+                    "conn_sweep: FAIL — {} @ {} conns: sampled {} ops vs measured {} \
+                     ({:.1}% off, tolerance {:.0}%)",
+                    r.policy,
+                    r.conns,
+                    r.metrics_window_ops,
+                    r.ops,
+                    err * 100.0,
+                    AGREEMENT_TOLERANCE * 100.0,
+                );
+                failed = true;
+            }
+        }
         if top_parked < top as u64 {
             eprintln!(
                 "conn_sweep: FAIL — reactor driver parked {top_parked} connections at the \

@@ -2,8 +2,8 @@
 //! HatKV YCSB benchmark, emitting `BENCH_onesided.json`.
 //!
 //! ```text
-//! onesided_sweep [--check-speedup] [--out PATH] [--clients N]
-//!                [--records N] [--ops N]
+//! onesided_sweep [--check-speedup] [--out PATH] [--metrics-out PATH]
+//!                [--clients N] [--records N] [--ops N]
 //! ```
 //!
 //! Runs the HatRPC-Function deployment over two read-side mixes, once
@@ -30,14 +30,18 @@
 
 use std::fmt::Write as _;
 
-use hat_bench::{run_ycsb, KvSystem, KvWorkload, YcsbConfig, YcsbPoint};
+use hat_bench::{run_ycsb_sampled, KvSystem, KvWorkload, YcsbConfig, YcsbPoint};
 
 const SPEEDUP_FLOOR: f64 = 1.5;
+/// hat-metrics sampling interval for each point's fabric.
+const SAMPLE_INTERVAL_NS: u64 = 2_000_000;
 
 struct Row {
     workload: KvWorkload,
     onesided: bool,
     point: YcsbPoint,
+    /// Per-point `hat-metrics-timeline-v1` document.
+    timeline: String,
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -48,6 +52,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check-speedup");
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_onesided.json".to_string());
+    let metrics_out =
+        flag_value(&args, "--metrics-out").unwrap_or_else(|| "METRICS_onesided.json".to_string());
     let clients: usize = flag_value(&args, "--clients").map_or(8, |v| v.parse().expect("int"));
     let records: usize = flag_value(&args, "--records").map_or(1000, |v| v.parse().expect("int"));
     let ops: usize = flag_value(&args, "--ops").map_or(60, |v| v.parse().expect("int"));
@@ -55,16 +61,20 @@ fn main() {
     let mut rows = Vec::new();
     for workload in [KvWorkload::ReadOnly, KvWorkload::MixB] {
         for onesided in [false, true] {
-            let point = run_ycsb(&YcsbConfig {
-                system: KvSystem::HatRpcFunction,
-                workload,
-                clients,
-                records,
-                ops_per_client: ops,
-                shards: 4,
-                commit_cost_ns: None,
-                onesided,
-            });
+            let (point, sampler) = run_ycsb_sampled(
+                &YcsbConfig {
+                    system: KvSystem::HatRpcFunction,
+                    workload,
+                    clients,
+                    records,
+                    ops_per_client: ops,
+                    shards: 4,
+                    commit_cost_ns: None,
+                    onesided,
+                },
+                Some(SAMPLE_INTERVAL_NS),
+            );
+            let timeline = sampler.expect("sampling requested").timeline_json();
             let path = if onesided { "onesided" } else { "rpc" };
             eprintln!(
                 "onesided_sweep: {:>7} {path:>8}: {:>10.0} ops/s  get {:>7.1} us  mget {:>7.1} us",
@@ -73,7 +83,7 @@ fn main() {
                 point.mean_us[0],
                 point.mean_us[2],
             );
-            rows.push(Row { workload, onesided, point });
+            rows.push(Row { workload, onesided, point, timeline });
         }
     }
 
@@ -114,6 +124,28 @@ fn main() {
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, &json).expect("write BENCH_onesided.json");
     println!("onesided_sweep: wrote {out_path}");
+
+    let mut mjson = String::new();
+    let _ = writeln!(mjson, "{{");
+    let _ = writeln!(mjson, "  \"bench\": \"onesided_sweep\",");
+    let _ = writeln!(mjson, "  \"sample_interval_ns\": {SAMPLE_INTERVAL_NS},");
+    let _ = writeln!(mjson, "  \"points\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            mjson,
+            "    {{\"workload\": \"{}\", \"path\": \"{}\", \"ops_per_sec\": {:.1}, \
+             \"timeline\": {}}}{comma}",
+            row.workload.label(),
+            if row.onesided { "onesided" } else { "rpc" },
+            row.point.throughput_ops_s,
+            row.timeline.trim_end(),
+        );
+    }
+    let _ = writeln!(mjson, "  ]");
+    let _ = writeln!(mjson, "}}");
+    std::fs::write(&metrics_out, &mjson).expect("write METRICS_onesided.json");
+    println!("onesided_sweep: wrote {metrics_out}");
     println!(
         "onesided_sweep: ycsb-c one-sided speedup {read_only_speedup:.2}x, ycsb-b {mix_b_speedup:.2}x"
     );

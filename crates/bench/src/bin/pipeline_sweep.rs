@@ -2,8 +2,8 @@
 //! throughput benchmark, emitting `BENCH_pipeline.json`.
 //!
 //! ```text
-//! pipeline_sweep [--check-speedup] [--out PATH] [--payload N] [--clients N]
-//!                [--iters N] [--time-scale F]
+//! pipeline_sweep [--check-speedup] [--out PATH] [--metrics-out PATH]
+//!                [--payload N] [--clients N] [--iters N] [--time-scale F]
 //! ```
 //!
 //! Sweeps the in-flight window (depth 1, 2, 4, 8, 16) for a 512 B echo
@@ -26,11 +26,15 @@ use hat_rdma_sim::{Fabric, PollMode, SimConfig};
 
 const DEPTHS: [usize; 5] = [1, 2, 4, 8, 16];
 const SPEEDUP_FLOOR: f64 = 2.0;
+/// hat-metrics sampling interval for each run's fabric.
+const SAMPLE_INTERVAL_NS: u64 = 2_000_000;
 
 struct Row {
     stack: &'static str,
     depth: usize,
     result: ThroughputResult,
+    /// Per-run `hat-metrics-timeline-v1` document.
+    timeline: String,
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -41,6 +45,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check-speedup");
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let metrics_out =
+        flag_value(&args, "--metrics-out").unwrap_or_else(|| "METRICS_pipeline.json".to_string());
     let payload: usize = flag_value(&args, "--payload").map_or(512, |v| v.parse().expect("int"));
     let clients: usize = flag_value(&args, "--clients").map_or(8, |v| v.parse().expect("int"));
     let iters: usize = flag_value(&args, "--iters").map_or(128, |v| v.parse().expect("int"));
@@ -72,13 +78,23 @@ fn main() {
             // common factor cancels out of them.
             let sim = SimConfig { time_scale, ..SimConfig::default() };
             let fabric = Fabric::new(sim);
+            let mut sampler = hat_metrics::Sampler::attach(
+                &fabric,
+                hat_metrics::SamplerConfig {
+                    interval_ns: SAMPLE_INTERVAL_NS,
+                    ring_capacity: 512,
+                    slos: Vec::new(),
+                },
+            );
             let cfg = ThroughputConfig { mode, payload, clients, client_nodes: 4, iters, depth };
             let result = run_throughput(&fabric, &cfg).expect("benchmark run");
+            sampler.stop();
+            let timeline = sampler.timeline_json();
             eprintln!(
                 "pipeline_sweep: {stack:>6} depth {depth:>2}: {:>12.0} ops/s  {:>8.1} MB/s",
                 result.ops_per_sec, result.mb_per_sec
             );
-            rows.push(Row { stack, depth, result });
+            rows.push(Row { stack, depth, result, timeline });
         }
     }
 
@@ -119,6 +135,28 @@ fn main() {
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
     println!("pipeline_sweep: wrote {out_path}");
+
+    let mut mjson = String::new();
+    let _ = writeln!(mjson, "{{");
+    let _ = writeln!(mjson, "  \"bench\": \"pipeline_sweep\",");
+    let _ = writeln!(mjson, "  \"sample_interval_ns\": {SAMPLE_INTERVAL_NS},");
+    let _ = writeln!(mjson, "  \"points\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            mjson,
+            "    {{\"stack\": \"{}\", \"depth\": {}, \"ops_per_sec\": {:.1}, \
+             \"timeline\": {}}}{comma}",
+            row.stack,
+            row.depth,
+            row.result.ops_per_sec,
+            row.timeline.trim_end(),
+        );
+    }
+    let _ = writeln!(mjson, "  ]");
+    let _ = writeln!(mjson, "}}");
+    std::fs::write(&metrics_out, &mjson).expect("write METRICS_pipeline.json");
+    println!("pipeline_sweep: wrote {metrics_out}");
     println!(
         "pipeline_sweep: eager depth-8 speedup {eager_speedup:.2}x, hatrpc {hatrpc_speedup:.2}x"
     );

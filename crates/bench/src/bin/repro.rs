@@ -4,6 +4,10 @@
 //! repro <fig4|fig5|fig11|fig12|fig13|fig14|fig15|fig16|fig17|micro|all> [--full] [--tsv]
 //! repro trace [--out FILE]    # capture a traced micro run (Chrome trace JSON)
 //! repro stats [--json]       # per-node sim counters + latency histograms
+//! repro metrics [--out FILE] [--json-out FILE] [--check]
+//!                            # sampled micro run -> Prometheus exposition
+//! repro top [--frames N] [--interval-ms N]
+//!                            # live terminal telemetry dashboard
 //! ```
 //!
 //! `--full` enlarges sweeps toward the paper's axes; `--tsv` emits
@@ -17,18 +21,27 @@ fn main() {
     let full = args.iter().any(|a| a == "--full");
     let tsv = args.iter().any(|a| a == "--tsv");
     let json = args.iter().any(|a| a == "--json");
-    let trace_out = match args.iter().position(|a| a == "--out") {
-        Some(i) if i + 1 < args.len() => {
-            let file = args.remove(i + 1);
-            args.remove(i);
-            file
+    let check = args.iter().any(|a| a == "--check");
+    fn take_flag_value(name: &str, args: &mut Vec<String>) -> Option<String> {
+        match args.iter().position(|a| a == name) {
+            Some(i) if i + 1 < args.len() => {
+                let file = args.remove(i + 1);
+                args.remove(i);
+                Some(file)
+            }
+            Some(_) => {
+                eprintln!("repro: {name} needs an argument");
+                std::process::exit(2);
+            }
+            None => None,
         }
-        Some(_) => {
-            eprintln!("repro: --out needs a file argument");
-            std::process::exit(2);
-        }
-        None => "TRACE_micro.json".to_string(),
-    };
+    }
+    let out_flag = take_flag_value("--out", &mut args);
+    let json_out = take_flag_value("--json-out", &mut args);
+    let frames: usize = take_flag_value("--frames", &mut args)
+        .map_or(3, |v| v.parse().expect("--frames wants an integer"));
+    let interval_ms: u64 = take_flag_value("--interval-ms", &mut args)
+        .map_or(100, |v| v.parse().expect("--interval-ms wants an integer"));
     let scale = Scale::from_flag(full);
     let which: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
@@ -70,6 +83,7 @@ fn main() {
             "fig17" => print(hat_bench::fig17_tpch(scale)),
             "micro" => print(hat_bench::micro_section3()),
             "trace" => {
+                let trace_out = out_flag.clone().unwrap_or_else(|| "TRACE_micro.json".to_string());
                 let trace = hat_bench::capture_micro_trace();
                 std::fs::write(&trace_out, &trace.json).unwrap_or_else(|e| {
                     eprintln!("repro: cannot write {trace_out}: {e}");
@@ -116,6 +130,38 @@ fn main() {
                     print(hists);
                 }
             }
+            "metrics" => {
+                let metrics_out =
+                    out_flag.clone().unwrap_or_else(|| "METRICS_micro.prom".to_string());
+                let m = hat_bench::capture_micro_metrics();
+                std::fs::write(&metrics_out, &m.prometheus).unwrap_or_else(|e| {
+                    eprintln!("repro: cannot write {metrics_out}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("repro: wrote {metrics_out} ({} ticks, {} ops sampled)", m.ticks, m.ops);
+                if let Some(path) = &json_out {
+                    std::fs::write(path, &m.timeline).unwrap_or_else(|e| {
+                        eprintln!("repro: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    eprintln!("repro: wrote {path} (hat-metrics-timeline-v1)");
+                }
+                if check {
+                    if let Err(e) = hat_metrics::export::validate_exposition(&m.prometheus) {
+                        eprintln!("repro: exposition check FAILED: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("repro: exposition check passed");
+                }
+            }
+            "top" => {
+                let interval = std::time::Duration::from_millis(interval_ms);
+                for frame in hat_bench::top_frames(frames, interval) {
+                    println!("{frame}");
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                }
+            }
             "all" => {
                 print(hat_bench::fig04_protocol_latency(scale));
                 print(hat_bench::fig05_protocol_throughput(scale));
@@ -131,7 +177,7 @@ fn main() {
             other => {
                 eprintln!("repro: unknown target '{other}'");
                 eprintln!(
-                    "usage: repro <fig4|fig5|fig11|fig12|fig13|fig14|fig15|fig16|fig17|micro|all> [--full] [--tsv]\n       repro trace [--out FILE]\n       repro stats [--json]"
+                    "usage: repro <fig4|fig5|fig11|fig12|fig13|fig14|fig15|fig16|fig17|micro|all> [--full] [--tsv]\n       repro trace [--out FILE]\n       repro stats [--json]\n       repro metrics [--out FILE] [--json-out FILE] [--check]\n       repro top [--frames N] [--interval-ms N]"
                 );
                 std::process::exit(2);
             }

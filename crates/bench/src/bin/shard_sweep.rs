@@ -2,8 +2,8 @@
 //! benchmark, emitting `BENCH_shards.json`.
 //!
 //! ```text
-//! shard_sweep [--check-speedup] [--out PATH] [--clients N] [--records N]
-//!             [--ops N] [--commit-cost-ns N]
+//! shard_sweep [--check-speedup] [--out PATH] [--metrics-out PATH]
+//!             [--clients N] [--records N] [--ops N] [--commit-cost-ns N]
 //! ```
 //!
 //! Sweeps the server-side `shards` hint (1, 2, 4, 8) over two operation
@@ -31,15 +31,19 @@
 
 use std::fmt::Write as _;
 
-use hat_bench::{run_ycsb, KvSystem, KvWorkload, YcsbConfig, YcsbPoint};
+use hat_bench::{run_ycsb_sampled, KvSystem, KvWorkload, YcsbConfig, YcsbPoint};
 
 const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
 const SPEEDUP_FLOOR: f64 = 2.0;
+/// hat-metrics sampling interval for each point's fabric.
+const SAMPLE_INTERVAL_NS: u64 = 2_000_000;
 
 struct Row {
     workload: KvWorkload,
     shards: u32,
     point: YcsbPoint,
+    /// Per-point `hat-metrics-timeline-v1` document.
+    timeline: String,
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -50,6 +54,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check-speedup");
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_shards.json".to_string());
+    let metrics_out =
+        flag_value(&args, "--metrics-out").unwrap_or_else(|| "METRICS_shards.json".to_string());
     let clients: usize = flag_value(&args, "--clients").map_or(8, |v| v.parse().expect("int"));
     let records: usize = flag_value(&args, "--records").map_or(1000, |v| v.parse().expect("int"));
     let ops: usize = flag_value(&args, "--ops").map_or(40, |v| v.parse().expect("int"));
@@ -59,18 +65,22 @@ fn main() {
     let mut rows = Vec::new();
     for workload in [KvWorkload::WriteHeavy, KvWorkload::MixB] {
         for shards in SHARD_COUNTS {
-            let point = run_ycsb(&YcsbConfig {
-                system: KvSystem::HatRpcFunction,
-                workload,
-                clients,
-                records,
-                ops_per_client: ops,
-                shards,
-                commit_cost_ns: Some(commit_cost_ns),
-                // The sweep measures server-side writer-lock relief; keep
-                // GETs on the RPC path so read load still hits the server.
-                onesided: false,
-            });
+            let (point, sampler) = run_ycsb_sampled(
+                &YcsbConfig {
+                    system: KvSystem::HatRpcFunction,
+                    workload,
+                    clients,
+                    records,
+                    ops_per_client: ops,
+                    shards,
+                    commit_cost_ns: Some(commit_cost_ns),
+                    // The sweep measures server-side writer-lock relief; keep
+                    // GETs on the RPC path so read load still hits the server.
+                    onesided: false,
+                },
+                Some(SAMPLE_INTERVAL_NS),
+            );
+            let timeline = sampler.expect("sampling requested").timeline_json();
             let wait_ms: f64 =
                 point.shard_stats.iter().map(|s| s.writer_wait_ns).sum::<u64>() as f64 / 1e6;
             eprintln!(
@@ -78,7 +88,7 @@ fn main() {
                 workload.label(),
                 point.throughput_ops_s,
             );
-            rows.push(Row { workload, shards, point });
+            rows.push(Row { workload, shards, point, timeline });
         }
     }
 
@@ -131,6 +141,28 @@ fn main() {
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, &json).expect("write BENCH_shards.json");
     println!("shard_sweep: wrote {out_path}");
+
+    let mut mjson = String::new();
+    let _ = writeln!(mjson, "{{");
+    let _ = writeln!(mjson, "  \"bench\": \"shard_sweep\",");
+    let _ = writeln!(mjson, "  \"sample_interval_ns\": {SAMPLE_INTERVAL_NS},");
+    let _ = writeln!(mjson, "  \"points\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            mjson,
+            "    {{\"workload\": \"{}\", \"shards\": {}, \"ops_per_sec\": {:.1}, \
+             \"timeline\": {}}}{comma}",
+            row.workload.label(),
+            row.shards,
+            row.point.throughput_ops_s,
+            row.timeline.trim_end(),
+        );
+    }
+    let _ = writeln!(mjson, "  ]");
+    let _ = writeln!(mjson, "}}");
+    std::fs::write(&metrics_out, &mjson).expect("write METRICS_shards.json");
+    println!("shard_sweep: wrote {metrics_out}");
     println!(
         "shard_sweep: write-heavy shards-8 speedup {write_speedup:.2}x, read-heavy {read_speedup:.2}x"
     );

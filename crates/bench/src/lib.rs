@@ -18,6 +18,7 @@
 //! | [`fig17_tpch`] | Fig. 17 — TPC-H over three transports |
 //! | [`micro_section3`] | §3.2 claims — CPU and in/out-bound asymmetry |
 
+pub mod metrics_bench;
 pub mod protocol_bench;
 pub mod table;
 pub mod trace_bench;
@@ -28,10 +29,11 @@ use hat_protocols::ProtocolKind;
 use hat_rdma_sim::{Fabric, PollMode, SimConfig};
 use hat_tpch::{ClusterConfig, TpchCluster, TransportMode};
 
+pub use metrics_bench::{capture_micro_metrics, top_frames, MicroMetrics};
 pub use protocol_bench::{raw_latency, raw_throughput, RawLatencyPoint, RawThroughputPoint};
 pub use table::Table;
 pub use trace_bench::{capture_micro_trace, latency_json, stats_json, MicroTrace};
-pub use ycsb_bench::{run_ycsb, KvSystem, KvWorkload, YcsbConfig, YcsbPoint};
+pub use ycsb_bench::{run_ycsb, run_ycsb_sampled, KvSystem, KvWorkload, YcsbConfig, YcsbPoint};
 
 /// Sweep size preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

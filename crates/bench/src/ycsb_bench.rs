@@ -214,6 +214,17 @@ impl AnyKv {
 
 /// Run one YCSB point: preload, fan out clients, measure.
 pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
+    run_ycsb_sampled(cfg, None).0
+}
+
+/// [`run_ycsb`] with a live hat-metrics sampler attached to the point's
+/// fabric for the run. `sample_interval_ns` is the tick interval; the
+/// sampler comes back stopped (final tail tick taken) so sweeps can
+/// write `METRICS_*.json` timelines next to their `BENCH_*.json`.
+pub fn run_ycsb_sampled(
+    cfg: &YcsbConfig,
+    sample_interval_ns: Option<u64>,
+) -> (YcsbPoint, Option<hat_metrics::Sampler>) {
     let fabric = Fabric::new(SimConfig::default());
     let snode = fabric.add_node("kv-server");
     let db_config = DbConfig {
@@ -273,6 +284,23 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
     // Clients over 4 client nodes, as in the paper's YCSB deployment.
     let client_nodes: Vec<_> =
         (0..4.min(cfg.clients.max(1))).map(|i| fabric.add_node(&format!("kv-client{i}"))).collect();
+
+    // Attach the sampler after every node exists, so the baseline tick
+    // covers them all from zero. Loose-by-design GET/PUT p99 objectives
+    // ride along so sweeps exercise the SLO engine on real traffic.
+    let mut sampler = sample_interval_ns.map(|interval_ns| {
+        hat_metrics::Sampler::attach(
+            &fabric,
+            hat_metrics::SamplerConfig {
+                interval_ns,
+                ring_capacity: 512,
+                slos: vec![
+                    hat_metrics::SloSpec::p99("get", 20_000_000),
+                    hat_metrics::SloSpec::p99("put", 50_000_000),
+                ],
+            },
+        )
+    });
     let barrier = Arc::new(std::sync::Barrier::new(cfg.clients + 1));
     let mut handles = Vec::new();
     for c in 0..cfg.clients {
@@ -345,6 +373,11 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
         aggregate.merge(&h.join().expect("client thread"));
     }
     aggregate.elapsed_ns = now_ns() - t0;
+    // Stop the sampler first: its tail tick runs while every counter the
+    // clients bumped is final and the server is still alive.
+    if let Some(s) = sampler.as_mut() {
+        s.stop();
+    }
     let shard_stats = db.shard_stats();
     match server {
         Server::Hat(s) => s.shutdown(),
@@ -353,12 +386,13 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> YcsbPoint {
 
     let mean_us = [OpType::Get, OpType::Put, OpType::MultiGet, OpType::MultiPut]
         .map(|t| aggregate.histogram(t).map_or(0.0, |h| h.mean_ns() as f64 / 1000.0));
-    YcsbPoint {
+    let point = YcsbPoint {
         throughput_ops_s: aggregate.throughput_ops_s(),
         mean_us,
         measurement: aggregate,
         shard_stats,
-    }
+    };
+    (point, sampler)
 }
 
 #[cfg(test)]

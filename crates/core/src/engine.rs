@@ -463,8 +463,12 @@ impl HatClient {
         // so sim-layer events (WR post, doorbell, wire, completion) land
         // on the same timeline row. The latency histogram covers the
         // whole retry loop — retries and timeouts are part of the latency
-        // a caller observes, not a separate population.
+        // a caller observes, not a separate population. Histograms also
+        // record under a standalone hist capture (a live hat-metrics
+        // sampler) with full tracing off — only the span events are
+        // trace-gated.
         let traced = hat_trace::enabled();
+        let histing = hat_trace::hist_enabled();
         let label = plan.selection.protocol.label();
         let (call_id, start_ns) = if traced {
             let id = hat_trace::next_call_id();
@@ -472,6 +476,8 @@ impl HatClient {
             hat_trace::register_call(id, label, func, request.len() as u64);
             hat_trace::event(Phase::CallBegin, self.node.id(), id, request.len() as u64, t);
             (id, t)
+        } else if histing {
+            (0, now_ns())
         } else {
             (0, 0)
         };
@@ -480,15 +486,17 @@ impl HatClient {
             match self.call_attempt(&plan, func, request) {
                 Ok(resp) => {
                     NodeStats::add(&self.node.stats().calls_ok, 1);
-                    if traced {
+                    if traced || histing {
                         let end = now_ns();
-                        hat_trace::event(
-                            Phase::CallEnd,
-                            self.node.id(),
-                            call_id,
-                            resp.len() as u64,
-                            end,
-                        );
+                        if traced {
+                            hat_trace::event(
+                                Phase::CallEnd,
+                                self.node.id(),
+                                call_id,
+                                resp.len() as u64,
+                                end,
+                            );
+                        }
                         hat_trace::hist::record_latency(
                             label,
                             func,
@@ -526,12 +534,14 @@ impl HatClient {
                         &self.node.stats().calls_failed
                     };
                     NodeStats::add(counter, 1);
-                    if traced {
+                    if traced || histing {
                         let end = now_ns();
-                        if timed_out {
-                            hat_trace::event(Phase::TimedOut, self.node.id(), call_id, 0, end);
+                        if traced {
+                            if timed_out {
+                                hat_trace::event(Phase::TimedOut, self.node.id(), call_id, 0, end);
+                            }
+                            hat_trace::event(Phase::CallEnd, self.node.id(), call_id, 0, end);
                         }
-                        hat_trace::event(Phase::CallEnd, self.node.id(), call_id, 0, end);
                         hat_trace::hist::record_latency(
                             label,
                             func,
@@ -654,10 +664,11 @@ impl HatClient {
         // a fresh one per attempt). Batched flushes inside submit/wait are
         // attributed to the call whose submit or wait triggered them.
         let traced = hat_trace::enabled();
+        let histing = hat_trace::hist_enabled();
         let label = plan.selection.protocol.label();
         let node_id = self.node.id();
         let mut spans: Vec<(u64, u64)> =
-            if traced { vec![(0, 0); requests.len()] } else { Vec::new() };
+            if traced || histing { vec![(0, 0); requests.len()] } else { Vec::new() };
         loop {
             // Refill with hysteresis: top the window up only once it has
             // drained to half. Refilling one slot per completion would
@@ -679,6 +690,9 @@ impl HatClient {
                             let _span = hat_trace::call_scope(id);
                             pipe.submit(&requests[next])?
                         } else {
+                            if histing {
+                                spans[next] = (0, now_ns());
+                            }
                             pipe.submit(&requests[next])?
                         };
                         inflight.push_back((token, next));
@@ -693,10 +707,12 @@ impl HatClient {
             } else {
                 pipe.wait(token)?
             };
-            if traced {
+            if traced || histing {
                 let (id, t0) = spans[idx];
                 let end = now_ns();
-                hat_trace::event(Phase::CallEnd, node_id, id, response.len() as u64, end);
+                if traced {
+                    hat_trace::event(Phase::CallEnd, node_id, id, response.len() as u64, end);
+                }
                 hat_trace::hist::record_latency(
                     label,
                     func,
@@ -771,6 +787,7 @@ impl HatClient {
         }
         let node_id = self.node.id();
         let traced = hat_trace::enabled();
+        let histing = hat_trace::hist_enabled();
         let label = plan.selection.protocol.label();
         let deadline_ns = now_ns().saturating_add(self.policy.deadline.as_nanos() as u64);
         let pipe = self
@@ -795,6 +812,8 @@ impl HatClient {
             hat_trace::register_call(id, label, func, request.len() as u64);
             hat_trace::event(Phase::CallBegin, node_id, id, request.len() as u64, t);
             (id, t)
+        } else if histing {
+            (0, now_ns())
         } else {
             (0, 0)
         };
@@ -813,6 +832,7 @@ impl HatClient {
                 req_len: request.len() as u64,
                 label,
                 traced,
+                histing,
                 done: false,
             }),
             Err(e) => {
@@ -857,9 +877,17 @@ impl HatClient {
                 call.done = true;
                 let resp = buf.to_vec();
                 NodeStats::add(&self.node.stats().calls_ok, 1);
-                if call.traced {
+                if call.traced || call.histing {
                     let end = now_ns();
-                    hat_trace::event(Phase::CallEnd, node_id, call.call_id, resp.len() as u64, end);
+                    if call.traced {
+                        hat_trace::event(
+                            Phase::CallEnd,
+                            node_id,
+                            call.call_id,
+                            resp.len() as u64,
+                            end,
+                        );
+                    }
                     hat_trace::hist::record_latency(
                         call.label,
                         &call.func,
@@ -878,10 +906,12 @@ impl HatClient {
                 // so the next call starts from a clean window.
                 self.channels.remove(&call.key);
                 NodeStats::add(&self.node.stats().calls_timed_out, 1);
-                if call.traced {
+                if call.traced || call.histing {
                     let end = now_ns();
-                    hat_trace::event(Phase::TimedOut, node_id, call.call_id, 0, end);
-                    hat_trace::event(Phase::CallEnd, node_id, call.call_id, 0, end);
+                    if call.traced {
+                        hat_trace::event(Phase::TimedOut, node_id, call.call_id, 0, end);
+                        hat_trace::event(Phase::CallEnd, node_id, call.call_id, 0, end);
+                    }
                     hat_trace::hist::record_latency(
                         call.label,
                         &call.func,
@@ -1089,6 +1119,9 @@ pub struct AsyncCall {
     req_len: u64,
     label: &'static str,
     traced: bool,
+    /// Latency histograms wanted (tracing on, or a standalone hist
+    /// capture such as a live hat-metrics sampler), pinned at submit.
+    histing: bool,
     done: bool,
 }
 
@@ -1185,6 +1218,11 @@ pub struct HatServer {
     /// Shut down (draining in-flight state machines) *before* endpoints
     /// close — a response can only post on a live endpoint.
     reactor: Option<Reactor>,
+    /// Live telemetry sampler, attached when `hat_metrics::enabled()` at
+    /// serve time. Stopped *last* in [`HatServer::shutdown`] — after the
+    /// serving threads join — so its final tail tick captures everything
+    /// the run did.
+    metrics: Option<hat_metrics::Sampler>,
 }
 
 impl std::fmt::Debug for HatServer {
@@ -1336,7 +1374,15 @@ impl HatServer {
             conns,
             tcp_conns,
             reactor,
+            metrics: hat_metrics::attach_if_enabled(fabric),
         }
+    }
+
+    /// The live telemetry sampler, when the server started with
+    /// [`hat_metrics::enabled`] set. Exporters (`repro metrics`,
+    /// `repro top`) read frames and expositions from it while serving.
+    pub fn metrics(&self) -> Option<&hat_metrics::Sampler> {
+        self.metrics.as_ref()
     }
 
     /// Stop accepting, close every live connection, and wait for the
@@ -1346,7 +1392,10 @@ impl HatServer {
     /// in-flight request on a reactor connection gets its response posted
     /// (bounded by a grace period) *before* the endpoints close — a
     /// client mid-burst sees its whole window complete, not a reset.
-    pub fn shutdown(mut self) {
+    ///
+    /// Returns the telemetry sampler (stopped, final tail tick taken) when
+    /// one was attached, so callers can export the run's timelines.
+    pub fn shutdown(mut self) -> Option<hat_metrics::Sampler> {
         self.shutdown.store(true, Ordering::Release);
         self.fabric.unlisten(&self.service);
         self.fabric.unlisten_ipoib(&tcp_service(&self.service));
@@ -1362,6 +1411,13 @@ impl HatServer {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // Last: a final tail tick now sees every counter the serving
+        // threads bumped on their way out.
+        let mut sampler = self.metrics.take();
+        if let Some(s) = sampler.as_mut() {
+            s.stop();
+        }
+        sampler
     }
 }
 

@@ -1,0 +1,188 @@
+//! `repro top`: a terminal dashboard rendered from the sampler's rings.
+//!
+//! One frame is plain text — per-node throughput, in-flight and reactor
+//! state, one-sided hit/fallback/conflict rates, storage writer wait,
+//! and a sparkline of the ops/s trend over the trailing intervals —
+//! plus the SLO table. The caller decides how to present frames
+//! (printing each, or clearing the screen between them).
+
+use std::fmt::Write as _;
+
+use hat_rdma_sim::stats::FIELD_KINDS;
+
+use crate::{NodeTimeline, Sampler};
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// How many trailing intervals feed the sparkline.
+const TREND_WINDOW: usize = 16;
+
+/// Render `values` as a sparkline scaled to its own maximum.
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            if max <= 0.0 {
+                SPARKS[0]
+            } else {
+                let level = (v / max * (SPARKS.len() - 1) as f64).round() as usize;
+                SPARKS[level.min(SPARKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn field_index(name: &str) -> usize {
+    FIELD_KINDS
+        .iter()
+        .position(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown NodeStats field {name}"))
+}
+
+/// Per-interval rate (events/second) series for one cumulative field.
+fn rate_series(node: &NodeTimeline, field: usize, window: usize) -> Vec<f64> {
+    let samples = &node.samples;
+    let start = samples.len().saturating_sub(window + 1);
+    samples[start..]
+        .windows(2)
+        .map(|w| {
+            let dv = w[1].values[field].saturating_sub(w[0].values[field]) as f64;
+            let dt = w[1].ts_ns.saturating_sub(w[0].ts_ns) as f64;
+            if dt <= 0.0 {
+                0.0
+            } else {
+                dv * 1e9 / dt
+            }
+        })
+        .collect()
+}
+
+/// Delta of one cumulative field over the newest interval.
+fn last_delta(node: &NodeTimeline, field: usize) -> u64 {
+    let n = node.samples.len();
+    if n < 2 {
+        return 0;
+    }
+    node.samples[n - 1].values[field].saturating_sub(node.samples[n - 2].values[field])
+}
+
+fn latest(node: &NodeTimeline, field: usize) -> u64 {
+    node.samples.last().map(|s| s.values[field]).unwrap_or(0)
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Render one dashboard frame.
+pub fn render_frame(s: &Sampler) -> String {
+    let nodes = s.node_timelines();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "hat-metrics top · tick {} · interval {} · {} node{}",
+        s.ticks(),
+        fmt_ns(s.interval_ns()),
+        nodes.len(),
+        if nodes.len() == 1 { "" } else { "s" },
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>7} {:>8} {:>8} {:>7} {:>7} {:>7} {:>10}  TREND",
+        "NODE", "OPS/S", "INFLT", "WAKEUPS", "RESUMES", "1S-HIT", "1S-FBK", "1S-CONF", "KV-WAIT",
+    );
+
+    let calls_ok = field_index("calls_ok");
+    let inflight = field_index("inflight_hwm");
+    let wakeups = field_index("reactor_wakeups");
+    let resumes = field_index("reactor_resumes");
+    let os_hits = field_index("onesided_gets");
+    let os_fbk = field_index("onesided_fallbacks");
+    let os_conf = field_index("onesided_conflicts");
+    let kv_wait = field_index("kv_writer_wait_ns");
+
+    for node in &nodes {
+        let rates = rate_series(node, calls_ok, TREND_WINDOW);
+        let ops = rates.last().copied().unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>7} {:>8} {:>8} {:>7} {:>7} {:>7} {:>10}  {}",
+            node.node,
+            fmt_count(ops),
+            latest(node, inflight),
+            last_delta(node, wakeups),
+            last_delta(node, resumes),
+            last_delta(node, os_hits),
+            last_delta(node, os_fbk),
+            last_delta(node, os_conf),
+            fmt_ns(last_delta(node, kv_wait)),
+            sparkline(&rates),
+        );
+    }
+
+    let slos = s.slo_statuses();
+    if !slos.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>12} {:>8} {:>8}  STATUS",
+            "SLO (fn_scope)", "TARGET p99", "WINDOW p99", "BURN", "EVENTS",
+        );
+        for st in &slos {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>12} {:>12} {:>8.2} {:>8}  {}",
+                st.fn_scope,
+                fmt_ns(st.p99_target_ns),
+                fmt_ns(st.window_p99_ns),
+                st.burn_rate_milli as f64 / 1000.0,
+                st.breach_events,
+                if st.breached { "BREACH" } else { "ok" },
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s = sparkline(&[0.0, 50.0, 100.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn counts_and_durations_format_compactly() {
+        assert_eq!(fmt_count(999.0), "999");
+        assert_eq!(fmt_count(12_345.0), "12.3k");
+        assert_eq!(fmt_count(2_500_000.0), "2.5M");
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_000_000), "2.00ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -128,19 +128,48 @@ impl Window {
         token as usize % self.slots.len()
     }
 
-    /// Claim the next token and its slot. Fails when the slot is still
-    /// occupied (window full from the caller's point of view).
+    fn full_error(&self) -> hat_rdma_sim::RdmaError {
+        hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(
+            "pipeline window full ({} of {} in flight): take a completed \
+             response before submitting more",
+            self.in_flight,
+            self.slots.len()
+        ))
+    }
+
+    /// Claim the next token, mapped to its *ring* slot `token % len`.
+    /// Fails while that specific slot is occupied — even when other slots
+    /// are free. Protocols whose wire format pins per-message stripes to
+    /// `token % window` on both sides (chained-write, write-imm, hybrid)
+    /// must use this mapping; their callers have to take response `k`
+    /// before submitting `k + window`.
     fn begin(&mut self) -> Result<(Token, usize)> {
         let token = self.next_token;
         let slot = self.slot_of(token);
         if !matches!(self.slots[slot], Slot::Free) {
-            return Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(
-                "pipeline window full ({} of {} in flight): take a completed \
-                 response before submitting more",
-                self.in_flight,
-                self.slots.len()
-            )));
+            return Err(self.full_error());
         }
+        self.slots[slot] = Slot::Waiting(token);
+        self.next_token += 1;
+        self.in_flight += 1;
+        Ok((token, slot))
+    }
+
+    /// Claim the next token, mapped to *any* free slot. Fails only when
+    /// the window is genuinely full (`in_flight == len`). For protocols
+    /// that carry the token in-band in both directions (eager), where a
+    /// response left `Ready` in its slot — arrived, but its owner has not
+    /// polled it yet — must not block an unrelated submit.
+    fn begin_any(&mut self) -> Result<(Token, usize)> {
+        if self.in_flight == self.slots.len() {
+            return Err(self.full_error());
+        }
+        let slot = self
+            .slots
+            .iter()
+            .position(|s| matches!(s, Slot::Free))
+            .expect("in_flight < len implies a free slot");
+        let token = self.next_token;
         self.slots[slot] = Slot::Waiting(token);
         self.next_token += 1;
         self.in_flight += 1;
@@ -149,16 +178,15 @@ impl Window {
 
     /// Record an arrived response for `token`.
     fn complete(&mut self, token: Token, response: PoolBuf) -> Result<()> {
-        let slot = self.slot_of(token);
-        match self.slots[slot] {
-            Slot::Waiting(t) if t == token => {
-                self.slots[slot] = Slot::Ready(token, response);
-                Ok(())
+        for s in self.slots.iter_mut() {
+            if matches!(s, Slot::Waiting(t) if *t == token) {
+                *s = Slot::Ready(token, response);
+                return Ok(());
             }
-            _ => Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(
-                "completion for token {token} does not match any in-flight request"
-            ))),
         }
+        Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(
+            "completion for token {token} does not match any in-flight request"
+        )))
     }
 
     /// Take the lowest-token ready response, if any.
@@ -188,22 +216,24 @@ impl Window {
     /// still in flight; an error if the token is unknown (never submitted,
     /// already taken, or overwritten by a later window lap).
     fn try_take(&mut self, token: Token) -> Result<Option<PoolBuf>> {
-        let slot = self.slot_of(token);
-        match &self.slots[slot] {
-            Slot::Waiting(t) if *t == token => Ok(None),
-            Slot::Ready(t, _) if *t == token => {
-                match std::mem::replace(&mut self.slots[slot], Slot::Free) {
-                    Slot::Ready(_, buf) => {
-                        self.in_flight -= 1;
-                        Ok(Some(buf))
+        for slot in 0..self.slots.len() {
+            match &self.slots[slot] {
+                Slot::Waiting(t) if *t == token => return Ok(None),
+                Slot::Ready(t, _) if *t == token => {
+                    match std::mem::replace(&mut self.slots[slot], Slot::Free) {
+                        Slot::Ready(_, buf) => {
+                            self.in_flight -= 1;
+                            return Ok(Some(buf));
+                        }
+                        _ => unreachable!("slot was just observed Ready"),
                     }
-                    _ => unreachable!("slot was just observed Ready"),
                 }
+                _ => {}
             }
-            _ => Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(
-                "token {token} is not in flight on this channel"
-            ))),
         }
+        Err(hat_rdma_sim::RdmaError::InvalidWorkRequest(format!(
+            "token {token} is not in flight on this channel"
+        )))
     }
 }
 
@@ -322,7 +352,12 @@ impl PipelinedEager {
 impl PipelinedClient for PipelinedEager {
     fn submit(&mut self, request: &[u8]) -> Result<Token> {
         check_len(request.len(), self.cfg.max_msg)?;
-        let (token, slot) = self.win.begin()?;
+        // Any free slot: eager frames carry the token in-band both ways,
+        // so nothing on the wire pins a token to `token % window`. An
+        // async caller can refill as soon as it has taken *some* response
+        // even while older responses sit Ready awaiting their owner's
+        // poll.
+        let (token, slot) = self.win.begin_any()?;
         let base = slot * self.slot_size;
         charge_memcpy(&self.ep, request.len());
         self.send_ring.write(base, &(request.len() as u32).to_le_bytes())?;
@@ -414,9 +449,9 @@ impl PipelinedEagerServer {
         for i in 0..cfg.ring_slots {
             ep.post_recv(RecvWr::new(i as u64, recv_ring.clone(), i * slot_size, slot_size))?;
         }
-        // One response slot per receive slot: slot `i`'s previous response
-        // SEND is long done by the time a new request can occupy recv slot
-        // `i` (the client recycles a slot only after taking its response).
+        // One response slot per receive slot. The NIC snapshots the
+        // response at post time, so restaging slot `i` when a new request
+        // occupies recv slot `i` cannot corrupt an in-flight response.
         let send_ring = ep.pd().register(cfg.ring_slots * slot_size)?;
         let drain_staged = Vec::with_capacity(cfg.ring_slots);
         Ok(PipelinedEagerServer { ep, cfg, recv_ring, send_ring, slot_size, drain_staged })

@@ -124,6 +124,11 @@ fn eager_pipelined_hot_path_is_allocation_free_after_warmup() {
     let (_, counted) = tracked_allocs(|| std::hint::black_box(Box::new(17u64)));
     assert!(counted >= 1, "counting allocator saw {counted} events for a Box::new");
 
+    // hat-metrics is linked into this binary but disabled — the hot path
+    // must stay allocation-free with telemetry compiled in, paying only
+    // the sampler's relaxed enable-flag load.
+    assert!(!hat_metrics::enabled(), "telemetry stays off for the measured phase");
+
     // Measured phase: 16 window laps, zero client-side heap allocations.
     let ((), allocs) = tracked_allocs(|| {
         for _ in 0..16 {

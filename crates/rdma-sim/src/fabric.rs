@@ -52,6 +52,10 @@ struct FabricInner {
     by_name: RwLock<HashMap<String, Arc<Node>>>,
     next_node: AtomicU64,
     next_ep: AtomicU64,
+    /// Bumped on every `add_node`; samplers compare it against a cached
+    /// value to rediscover the node set only when it actually changed
+    /// (client nodes are often created after a sampler attaches).
+    node_generation: AtomicU64,
 }
 
 /// The simulated cluster.
@@ -78,6 +82,7 @@ impl Fabric {
                 by_name: RwLock::new(HashMap::new()),
                 next_node: AtomicU64::new(1),
                 next_ep: AtomicU64::new(1),
+                node_generation: AtomicU64::new(0),
             }),
         }
     }
@@ -95,10 +100,27 @@ impl Fabric {
         let prev = self.inner.by_name.write().insert(name.to_string(), node.clone());
         assert!(prev.is_none(), "duplicate node name {name}");
         self.inner.registry.nodes.write().insert(id, node.clone());
+        self.inner.node_generation.fetch_add(1, Ordering::Relaxed);
         // Name the node's trace track up front (unconditionally: nodes
         // are rare and often created before a capture window opens).
         hat_trace::register_track(id, name);
         node
+    }
+
+    /// Monotonic count of `add_node` calls. A sampler caches this and
+    /// only re-enumerates [`Fabric::nodes`] when it moved — one relaxed
+    /// load per tick in the steady state instead of a read-lock walk.
+    pub fn node_generation(&self) -> u64 {
+        self.inner.node_generation.load(Ordering::Relaxed)
+    }
+
+    /// All nodes, sorted by name (stable across calls once the node set
+    /// stops growing).
+    pub fn nodes(&self) -> Vec<Arc<Node>> {
+        let by_name = self.inner.by_name.read();
+        let mut nodes: Vec<_> = by_name.values().cloned().collect();
+        nodes.sort_by(|a, b| a.name().cmp(b.name()));
+        nodes
     }
 
     /// Look up a node by name.

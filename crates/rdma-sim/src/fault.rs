@@ -16,8 +16,54 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+/// Externally-fired trigger for [`FaultAction::FlushQpOnTrigger`]: a
+/// cloneable handle the test/orchestrator keeps after building the plan.
+/// Each [`FaultTrigger::fire`] arms one pending flush, consumed by the
+/// next matching WR post — so the fault lands at a point in the
+/// *workload's* own control flow (e.g. "round 5 of writer-0") instead of
+/// at a wall-clock-coupled WR count.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTrigger {
+    pending: Arc<AtomicU64>,
+}
+
+impl FaultTrigger {
+    /// A fresh, unarmed trigger.
+    pub fn new() -> FaultTrigger {
+        FaultTrigger::default()
+    }
+
+    /// Arm one flush: the next WR posted in the rule's scope fails and
+    /// flushes its QP. Multiple fires stack (two fires → the next two
+    /// matching posts each flush their QP).
+    pub fn fire(&self) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Flushes armed but not yet consumed by a post.
+    pub fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Consume one armed flush if any; true when a flush should fire.
+    fn try_consume(&self) -> bool {
+        self.pending
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// Triggers compare by identity: two handles are equal iff they share
+/// the same armed-count cell.
+impl PartialEq for FaultTrigger {
+    fn eq(&self, other: &FaultTrigger) -> bool {
+        Arc::ptr_eq(&self.pending, &other.pending)
+    }
+}
 
 /// Where a fault rule applies.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +146,13 @@ pub enum FaultAction {
         /// Number of WRs that post successfully before the kill.
         wrs: u64,
     },
+    /// Flush the QP carrying the next matching WR post after the shared
+    /// [`FaultTrigger`] is fired — a deterministic, workload-phase-aligned
+    /// alternative to [`FaultAction::FlushQpAfterWrs`]'s WR budget.
+    FlushQpOnTrigger {
+        /// Shared handle; `fire()` arms one flush.
+        trigger: FaultTrigger,
+    },
 }
 
 /// One scoped fault rule.
@@ -155,6 +208,18 @@ impl FaultPlan {
     pub fn kill_node_after(mut self, scope: FaultScope, wrs: u64) -> FaultPlan {
         self.rules.push(FaultRule { scope, action: FaultAction::KillNodeAfterWrs { wrs } });
         self
+    }
+
+    /// Add an externally-triggered flush rule; the returned handle's
+    /// [`FaultTrigger::fire`] arms a flush of whatever in-scope QP posts
+    /// the next WR.
+    pub fn flush_qp_on_trigger(mut self, scope: FaultScope) -> (FaultPlan, FaultTrigger) {
+        let trigger = FaultTrigger::new();
+        self.rules.push(FaultRule {
+            scope,
+            action: FaultAction::FlushQpOnTrigger { trigger: trigger.clone() },
+        });
+        (self, trigger)
     }
 }
 
@@ -244,6 +309,9 @@ impl NodeFaults {
             match rule.action {
                 FaultAction::KillNodeAfterWrs { wrs } if node_n > wrs => return WrFault::KillNode,
                 FaultAction::FlushQpAfterWrs { wrs } if qp_n > wrs => out = WrFault::FlushQp,
+                FaultAction::FlushQpOnTrigger { ref trigger } if trigger.try_consume() => {
+                    out = WrFault::FlushQp;
+                }
                 _ => {}
             }
         }
@@ -367,6 +435,47 @@ mod tests {
         let e = DelayDistribution::Exponential { mean_ns: 1000 };
         let d = e.sample(0.999_999_999);
         assert!(d < u64::MAX / 2, "clamped inverse-CDF stays finite");
+    }
+
+    #[test]
+    fn triggered_flush_fires_exactly_once_per_fire() {
+        let (plan, trigger) = FaultPlan::new(1).flush_qp_on_trigger(FaultScope::Node("w".into()));
+        let f = NodeFaults::from_plan(&plan, "w").unwrap();
+        // Unarmed: posts flow freely, at any count.
+        for _ in 0..100 {
+            assert_eq!(f.on_wr_posted(1), WrFault::None);
+        }
+        trigger.fire();
+        assert_eq!(trigger.pending(), 1);
+        assert_eq!(f.on_wr_posted(1), WrFault::FlushQp, "one armed flush consumed");
+        assert_eq!(trigger.pending(), 0);
+        assert_eq!(f.on_wr_posted(1), WrFault::None, "consumed: later posts flow");
+        // Fires stack.
+        trigger.fire();
+        trigger.fire();
+        assert_eq!(f.on_wr_posted(2), WrFault::FlushQp);
+        assert_eq!(f.on_wr_posted(3), WrFault::FlushQp);
+        assert_eq!(f.on_wr_posted(4), WrFault::None);
+    }
+
+    #[test]
+    fn triggered_flush_respects_scope() {
+        let (plan, trigger) = FaultPlan::new(1).flush_qp_on_trigger(FaultScope::Node("w".into()));
+        let other = NodeFaults::from_plan(&plan, "bystander").unwrap();
+        trigger.fire();
+        assert_eq!(other.on_wr_posted(1), WrFault::None, "out-of-scope node never consumes");
+        assert_eq!(trigger.pending(), 1, "the armed flush is still pending for the target");
+        let target = NodeFaults::from_plan(&plan, "w").unwrap();
+        assert_eq!(target.on_wr_posted(1), WrFault::FlushQp);
+    }
+
+    #[test]
+    fn trigger_equality_is_identity() {
+        let a = FaultTrigger::new();
+        let b = a.clone();
+        let c = FaultTrigger::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -97,13 +97,13 @@ pub use cost::{CostModel, SimConfig};
 pub use cq::{Completion, CompletionQueue, CompletionStatus, CqNotify, CqWaker, PollMode};
 pub use error::{RdmaError, Result};
 pub use fabric::Fabric;
-pub use fault::{DelayDistribution, FaultAction, FaultPlan, FaultRule, FaultScope};
+pub use fault::{DelayDistribution, FaultAction, FaultPlan, FaultRule, FaultScope, FaultTrigger};
 pub use memory::{MemoryRegion, MrSlice, ProtectionDomain, RemoteBuf};
 pub use node::Node;
 pub use numa::{CoreBinding, NumaTopology};
 pub use pool::PoolBuf;
 pub use qp::{Endpoint, QpConfig};
-pub use stats::{FabricStats, NodeStats};
+pub use stats::{FabricStats, MetricKind, NodeStats, NodeStatsSnapshot, FIELD_COUNT, FIELD_KINDS};
 pub use time::now_ns;
 pub use wr::{Opcode, RecvWr, SendWr};
 

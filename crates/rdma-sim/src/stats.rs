@@ -4,93 +4,186 @@
 //! footprint, doorbell counts, and in-bound vs out-bound RDMA asymmetry;
 //! these counters make every one of those quantities observable from the
 //! simulation so tests and the `repro micro` harness can assert them.
+//!
+//! The field list is written exactly once, in [`node_counters!`]: the
+//! macro expands to [`NodeStats`] (atomics), [`NodeStatsSnapshot`]
+//! (plain data), `snapshot()`, `fields()`, the metric-kind table, and
+//! the saturating `Sub` — so a new counter cannot appear in one place
+//! and silently vanish from another.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Per-node counters. All methods are thread-safe and relaxed — these are
-/// statistics, not synchronization.
-#[derive(Debug, Default)]
-pub struct NodeStats {
+/// How an exporter should treat a field: monotonically non-decreasing
+/// event counts vs point-in-time levels / high-water marks. Prometheus
+/// exposition maps these to `counter` and `gauge` types, and time-series
+/// samplers difference counters but report gauges raw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing; per-interval deltas are meaningful.
+    Counter,
+    /// Level or high-water mark; sample the raw value.
+    Gauge,
+}
+
+macro_rules! metric_kind {
+    (counter) => {
+        MetricKind::Counter
+    };
+    (gauge) => {
+        MetricKind::Gauge
+    };
+}
+
+macro_rules! node_counters {
+    ($( $(#[$doc:meta])* $kind:ident $name:ident, )+) => {
+        /// Per-node counters. All methods are thread-safe and relaxed —
+        /// these are statistics, not synchronization.
+        #[derive(Debug, Default)]
+        pub struct NodeStats {
+            $( $(#[$doc])* pub $name: AtomicU64, )+
+        }
+
+        impl NodeStats {
+            /// Snapshot all counters into a plain struct (for
+            /// printing/asserting).
+            pub fn snapshot(&self) -> NodeStatsSnapshot {
+                NodeStatsSnapshot {
+                    $( $name: Self::get(&self.$name), )+
+                }
+            }
+        }
+
+        /// Plain-data snapshot of [`NodeStats`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct NodeStatsSnapshot {
+            $( $(#[$doc])* pub $name: u64, )+
+        }
+
+        /// Number of per-node counters.
+        pub const FIELD_COUNT: usize = [$( stringify!($name) ),+].len();
+
+        /// `(name, kind)` per counter, in declaration order — parallel to
+        /// [`NodeStatsSnapshot::fields`].
+        pub const FIELD_KINDS: [(&str, MetricKind); FIELD_COUNT] =
+            [$( (stringify!($name), metric_kind!($kind)) ),+];
+
+        impl NodeStatsSnapshot {
+            /// Every counter as a `(name, value)` pair, in declaration
+            /// order. The single source of truth for exhaustive
+            /// expositions (`repro stats --json`, `repro metrics`, trace
+            /// summaries): the macro derives this from the same list as
+            /// the struct itself, so reports cannot silently miss a
+            /// counter.
+            pub fn fields(&self) -> [(&'static str, u64); FIELD_COUNT] {
+                [$( (stringify!($name), self.$name) ),+]
+            }
+
+            /// Every counter value in declaration order, no names — the
+            /// allocation-free row a time-series sampler copies into its
+            /// ring (parallel to [`FIELD_KINDS`]).
+            pub fn values(&self) -> [u64; FIELD_COUNT] {
+                [$( self.$name ),+]
+            }
+        }
+
+        /// Saturating per-field delta: `after - before` is what a phase
+        /// of work did, immune to whatever handshakes and warmup ran
+        /// earlier. Gauge-like fields (`registered_bytes`,
+        /// `inflight_hwm`) saturate to zero rather than wrapping when
+        /// they shrank across the window.
+        impl std::ops::Sub for NodeStatsSnapshot {
+            type Output = NodeStatsSnapshot;
+
+            fn sub(self, rhs: NodeStatsSnapshot) -> NodeStatsSnapshot {
+                NodeStatsSnapshot {
+                    $( $name: self.$name.saturating_sub(rhs.$name), )+
+                }
+            }
+        }
+    };
+}
+
+node_counters! {
     /// Work requests posted (send side).
-    pub wrs_posted: AtomicU64,
+    counter wrs_posted,
     /// MMIO doorbells rung (one per posted chain).
-    pub doorbells: AtomicU64,
+    counter doorbells,
     /// Receive work requests posted.
-    pub recvs_posted: AtomicU64,
+    counter recvs_posted,
     /// Completions consumed from CQs on this node.
-    pub completions: AtomicU64,
+    counter completions,
     /// Bytes sent on the egress link.
-    pub bytes_tx: AtomicU64,
+    counter bytes_tx,
     /// Bytes received on the ingress link.
-    pub bytes_rx: AtomicU64,
+    counter bytes_rx,
     /// In-bound one-sided operations served (remote READ/WRITE targeting us).
-    pub inbound_rdma: AtomicU64,
+    counter inbound_rdma,
     /// Out-bound one-sided operations issued.
-    pub outbound_rdma: AtomicU64,
+    counter outbound_rdma,
     /// Host memcpys charged (eager copies etc.).
-    pub memcpys: AtomicU64,
+    counter memcpys,
     /// Receiver-not-ready stalls (SEND arrived before a RECV was posted).
-    pub rnr_stalls: AtomicU64,
+    counter rnr_stalls,
     /// Simulated CPU nanoseconds burned on this node (spin charges and
     /// busy-poll loops).
-    pub cpu_busy_ns: AtomicU64,
+    counter cpu_busy_ns,
     /// Bytes of registered (pinned) memory currently live.
-    pub registered_bytes: AtomicU64,
+    gauge registered_bytes,
     /// Peak of `registered_bytes`.
-    pub registered_bytes_peak: AtomicU64,
+    gauge registered_bytes_peak,
     /// Connections established.
-    pub connections: AtomicU64,
+    counter connections,
     /// Completions dropped by fault injection.
-    pub faults_dropped: AtomicU64,
+    counter faults_dropped,
     /// Completions delayed by fault injection.
-    pub faults_delayed: AtomicU64,
+    counter faults_delayed,
     /// QPs flushed into the error state (fault injection or node death).
-    pub qp_errors: AtomicU64,
+    counter qp_errors,
     /// Engine-level calls that completed successfully.
-    pub calls_ok: AtomicU64,
+    counter calls_ok,
     /// Engine-level call attempts that were retried after a transport
     /// failure.
-    pub calls_retried: AtomicU64,
+    counter calls_retried,
     /// Engine-level calls that ultimately failed with a timeout.
-    pub calls_timed_out: AtomicU64,
+    counter calls_timed_out,
     /// Engine-level calls that ultimately failed for any other reason.
-    pub calls_failed: AtomicU64,
+    counter calls_failed,
     /// Calls completed through a pipelined (sliding-window) channel.
-    pub pipelined_calls: AtomicU64,
+    counter pipelined_calls,
     /// Doorbells rung by pipelined batch flushes (a subset of
     /// `doorbells`); `pipeline_doorbells / pipelined_calls` is the
     /// doorbells-per-call figure of merit for batched posting.
-    pub pipeline_doorbells: AtomicU64,
+    counter pipeline_doorbells,
     /// High-water mark of requests simultaneously in flight on any
     /// pipelined channel of this node.
-    pub inflight_hwm: AtomicU64,
+    gauge inflight_hwm,
     /// Storage-backend write transactions committed by services on this
     /// node (one per shard touched by a batch).
-    pub kv_txns: AtomicU64,
+    counter kv_txns,
     /// Nanoseconds storage writers spent waiting on shard writer locks
     /// (contention indicator: stays near zero when sharding spreads
     /// writers out).
-    pub kv_writer_wait_ns: AtomicU64,
+    counter kv_writer_wait_ns,
     /// Key+value bytes written into the storage backend.
-    pub kv_bytes_written: AtomicU64,
+    counter kv_bytes_written,
     /// GETs resolved entirely by one-sided READs (server bypassed).
-    pub onesided_gets: AtomicU64,
+    counter onesided_gets,
     /// One-sided GET attempts that fell back to the RPC path (miss,
     /// oversized value, or seqlock conflict).
-    pub onesided_fallbacks: AtomicU64,
+    counter onesided_fallbacks,
     /// Subset of `onesided_fallbacks` caused by a seqlock version
     /// conflict (a writer raced the two READs).
-    pub onesided_conflicts: AtomicU64,
+    counter onesided_conflicts,
     /// Times a reactor driver on this node was woken out of a park by a
     /// completion notify (each wakeup may resume many connections).
-    pub reactor_wakeups: AtomicU64,
+    counter reactor_wakeups,
     /// Connection state machines resumed by a reactor with at least one
     /// request served; `resumes / wakeups` is the multiplexing figure of
     /// merit (how many connections each wakeup pays for).
-    pub reactor_resumes: AtomicU64,
+    counter reactor_resumes,
     /// High-water mark of connections parked under one reactor driver when
     /// it went idle — the connections-per-thread this node sustained.
-    pub reactor_parked_hwm: AtomicU64,
+    gauge reactor_parked_hwm,
 }
 
 impl NodeStats {
@@ -127,176 +220,6 @@ impl NodeStats {
     /// keeping the high-water mark.
     pub fn note_reactor_parked(&self, n: u64) {
         self.reactor_parked_hwm.fetch_max(n, Ordering::Relaxed);
-    }
-
-    /// Snapshot all counters into a plain struct (for printing/asserting).
-    pub fn snapshot(&self) -> NodeStatsSnapshot {
-        NodeStatsSnapshot {
-            wrs_posted: Self::get(&self.wrs_posted),
-            doorbells: Self::get(&self.doorbells),
-            recvs_posted: Self::get(&self.recvs_posted),
-            completions: Self::get(&self.completions),
-            bytes_tx: Self::get(&self.bytes_tx),
-            bytes_rx: Self::get(&self.bytes_rx),
-            inbound_rdma: Self::get(&self.inbound_rdma),
-            outbound_rdma: Self::get(&self.outbound_rdma),
-            memcpys: Self::get(&self.memcpys),
-            rnr_stalls: Self::get(&self.rnr_stalls),
-            cpu_busy_ns: Self::get(&self.cpu_busy_ns),
-            registered_bytes: Self::get(&self.registered_bytes),
-            registered_bytes_peak: Self::get(&self.registered_bytes_peak),
-            connections: Self::get(&self.connections),
-            faults_dropped: Self::get(&self.faults_dropped),
-            faults_delayed: Self::get(&self.faults_delayed),
-            qp_errors: Self::get(&self.qp_errors),
-            calls_ok: Self::get(&self.calls_ok),
-            calls_retried: Self::get(&self.calls_retried),
-            calls_timed_out: Self::get(&self.calls_timed_out),
-            calls_failed: Self::get(&self.calls_failed),
-            pipelined_calls: Self::get(&self.pipelined_calls),
-            pipeline_doorbells: Self::get(&self.pipeline_doorbells),
-            inflight_hwm: Self::get(&self.inflight_hwm),
-            kv_txns: Self::get(&self.kv_txns),
-            kv_writer_wait_ns: Self::get(&self.kv_writer_wait_ns),
-            kv_bytes_written: Self::get(&self.kv_bytes_written),
-            onesided_gets: Self::get(&self.onesided_gets),
-            onesided_fallbacks: Self::get(&self.onesided_fallbacks),
-            onesided_conflicts: Self::get(&self.onesided_conflicts),
-            reactor_wakeups: Self::get(&self.reactor_wakeups),
-            reactor_resumes: Self::get(&self.reactor_resumes),
-            reactor_parked_hwm: Self::get(&self.reactor_parked_hwm),
-        }
-    }
-}
-
-/// Plain-data snapshot of [`NodeStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NodeStatsSnapshot {
-    pub wrs_posted: u64,
-    pub doorbells: u64,
-    pub recvs_posted: u64,
-    pub completions: u64,
-    pub bytes_tx: u64,
-    pub bytes_rx: u64,
-    pub inbound_rdma: u64,
-    pub outbound_rdma: u64,
-    pub memcpys: u64,
-    pub rnr_stalls: u64,
-    pub cpu_busy_ns: u64,
-    pub registered_bytes: u64,
-    pub registered_bytes_peak: u64,
-    pub connections: u64,
-    pub faults_dropped: u64,
-    pub faults_delayed: u64,
-    pub qp_errors: u64,
-    pub calls_ok: u64,
-    pub calls_retried: u64,
-    pub calls_timed_out: u64,
-    pub calls_failed: u64,
-    pub pipelined_calls: u64,
-    pub pipeline_doorbells: u64,
-    pub inflight_hwm: u64,
-    pub kv_txns: u64,
-    pub kv_writer_wait_ns: u64,
-    pub kv_bytes_written: u64,
-    pub onesided_gets: u64,
-    pub onesided_fallbacks: u64,
-    pub onesided_conflicts: u64,
-    pub reactor_wakeups: u64,
-    pub reactor_resumes: u64,
-    pub reactor_parked_hwm: u64,
-}
-
-impl NodeStatsSnapshot {
-    /// Every counter as a `(name, value)` pair, in declaration order.
-    /// The single source of truth for exhaustive expositions (`repro
-    /// stats --json`, trace summaries): adding a field here is the only
-    /// way it shows up in a snapshot, so reports cannot silently miss a
-    /// counter.
-    pub fn fields(&self) -> [(&'static str, u64); 33] {
-        [
-            ("wrs_posted", self.wrs_posted),
-            ("doorbells", self.doorbells),
-            ("recvs_posted", self.recvs_posted),
-            ("completions", self.completions),
-            ("bytes_tx", self.bytes_tx),
-            ("bytes_rx", self.bytes_rx),
-            ("inbound_rdma", self.inbound_rdma),
-            ("outbound_rdma", self.outbound_rdma),
-            ("memcpys", self.memcpys),
-            ("rnr_stalls", self.rnr_stalls),
-            ("cpu_busy_ns", self.cpu_busy_ns),
-            ("registered_bytes", self.registered_bytes),
-            ("registered_bytes_peak", self.registered_bytes_peak),
-            ("connections", self.connections),
-            ("faults_dropped", self.faults_dropped),
-            ("faults_delayed", self.faults_delayed),
-            ("qp_errors", self.qp_errors),
-            ("calls_ok", self.calls_ok),
-            ("calls_retried", self.calls_retried),
-            ("calls_timed_out", self.calls_timed_out),
-            ("calls_failed", self.calls_failed),
-            ("pipelined_calls", self.pipelined_calls),
-            ("pipeline_doorbells", self.pipeline_doorbells),
-            ("inflight_hwm", self.inflight_hwm),
-            ("kv_txns", self.kv_txns),
-            ("kv_writer_wait_ns", self.kv_writer_wait_ns),
-            ("kv_bytes_written", self.kv_bytes_written),
-            ("onesided_gets", self.onesided_gets),
-            ("onesided_fallbacks", self.onesided_fallbacks),
-            ("onesided_conflicts", self.onesided_conflicts),
-            ("reactor_wakeups", self.reactor_wakeups),
-            ("reactor_resumes", self.reactor_resumes),
-            ("reactor_parked_hwm", self.reactor_parked_hwm),
-        ]
-    }
-}
-
-/// Saturating per-field delta: `after - before` is what a phase of work
-/// did, immune to whatever handshakes and warmup ran earlier. Gauge-like
-/// fields (`registered_bytes`, `inflight_hwm`) saturate to zero rather
-/// than wrapping when they shrank across the window.
-impl std::ops::Sub for NodeStatsSnapshot {
-    type Output = NodeStatsSnapshot;
-
-    fn sub(self, rhs: NodeStatsSnapshot) -> NodeStatsSnapshot {
-        NodeStatsSnapshot {
-            wrs_posted: self.wrs_posted.saturating_sub(rhs.wrs_posted),
-            doorbells: self.doorbells.saturating_sub(rhs.doorbells),
-            recvs_posted: self.recvs_posted.saturating_sub(rhs.recvs_posted),
-            completions: self.completions.saturating_sub(rhs.completions),
-            bytes_tx: self.bytes_tx.saturating_sub(rhs.bytes_tx),
-            bytes_rx: self.bytes_rx.saturating_sub(rhs.bytes_rx),
-            inbound_rdma: self.inbound_rdma.saturating_sub(rhs.inbound_rdma),
-            outbound_rdma: self.outbound_rdma.saturating_sub(rhs.outbound_rdma),
-            memcpys: self.memcpys.saturating_sub(rhs.memcpys),
-            rnr_stalls: self.rnr_stalls.saturating_sub(rhs.rnr_stalls),
-            cpu_busy_ns: self.cpu_busy_ns.saturating_sub(rhs.cpu_busy_ns),
-            registered_bytes: self.registered_bytes.saturating_sub(rhs.registered_bytes),
-            registered_bytes_peak: self
-                .registered_bytes_peak
-                .saturating_sub(rhs.registered_bytes_peak),
-            connections: self.connections.saturating_sub(rhs.connections),
-            faults_dropped: self.faults_dropped.saturating_sub(rhs.faults_dropped),
-            faults_delayed: self.faults_delayed.saturating_sub(rhs.faults_delayed),
-            qp_errors: self.qp_errors.saturating_sub(rhs.qp_errors),
-            calls_ok: self.calls_ok.saturating_sub(rhs.calls_ok),
-            calls_retried: self.calls_retried.saturating_sub(rhs.calls_retried),
-            calls_timed_out: self.calls_timed_out.saturating_sub(rhs.calls_timed_out),
-            calls_failed: self.calls_failed.saturating_sub(rhs.calls_failed),
-            pipelined_calls: self.pipelined_calls.saturating_sub(rhs.pipelined_calls),
-            pipeline_doorbells: self.pipeline_doorbells.saturating_sub(rhs.pipeline_doorbells),
-            inflight_hwm: self.inflight_hwm.saturating_sub(rhs.inflight_hwm),
-            kv_txns: self.kv_txns.saturating_sub(rhs.kv_txns),
-            kv_writer_wait_ns: self.kv_writer_wait_ns.saturating_sub(rhs.kv_writer_wait_ns),
-            kv_bytes_written: self.kv_bytes_written.saturating_sub(rhs.kv_bytes_written),
-            onesided_gets: self.onesided_gets.saturating_sub(rhs.onesided_gets),
-            onesided_fallbacks: self.onesided_fallbacks.saturating_sub(rhs.onesided_fallbacks),
-            onesided_conflicts: self.onesided_conflicts.saturating_sub(rhs.onesided_conflicts),
-            reactor_wakeups: self.reactor_wakeups.saturating_sub(rhs.reactor_wakeups),
-            reactor_resumes: self.reactor_resumes.saturating_sub(rhs.reactor_resumes),
-            reactor_parked_hwm: self.reactor_parked_hwm.saturating_sub(rhs.reactor_parked_hwm),
-        }
     }
 }
 
@@ -377,7 +300,7 @@ mod tests {
         NodeStats::add(&s.wrs_posted, 2);
         let snap = s.snapshot();
         let fields = snap.fields();
-        assert_eq!(fields.len(), 33);
+        assert_eq!(fields.len(), FIELD_COUNT);
         let names: Vec<_> = fields.iter().map(|(n, _)| *n).collect();
         let mut dedup = names.clone();
         dedup.sort();
@@ -385,6 +308,44 @@ mod tests {
         assert_eq!(dedup.len(), names.len(), "field names must be unique");
         assert_eq!(fields.iter().find(|(n, _)| *n == "wrs_posted").unwrap().1, 2);
         assert_eq!(fields.iter().find(|(n, _)| *n == "inflight_hwm").unwrap().1, 9);
+    }
+
+    /// Drift guard: every field the `NodeStats` struct actually carries
+    /// (as printed by its derived `Debug`) appears in `fields()` — and
+    /// therefore in `repro stats --json` and the Prometheus exporter.
+    /// The macro makes drift structurally impossible; this test keeps it
+    /// that way if someone ever adds a field outside the macro.
+    #[test]
+    fn debug_repr_and_fields_agree_on_every_counter() {
+        let debug = format!("{:?}", NodeStats::default());
+        let body = debug
+            .strip_prefix("NodeStats {")
+            .and_then(|s| s.strip_suffix('}'))
+            .expect("derived Debug shape");
+        let debug_names: Vec<&str> = body
+            .split(", ")
+            .map(|part| part.split(':').next().unwrap().trim())
+            .filter(|n| !n.is_empty())
+            .collect();
+        let snap = NodeStatsSnapshot::default();
+        let field_names: Vec<&str> = snap.fields().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            debug_names, field_names,
+            "NodeStats struct fields and NodeStatsSnapshot::fields() drifted",
+        );
+        let kind_names: Vec<&str> = FIELD_KINDS.iter().map(|(n, _)| *n).collect();
+        assert_eq!(field_names, kind_names, "FIELD_KINDS drifted from fields()");
+        assert_eq!(snap.values().len(), FIELD_COUNT);
+    }
+
+    #[test]
+    fn gauges_are_exactly_the_level_like_fields() {
+        let gauges: Vec<&str> =
+            FIELD_KINDS.iter().filter(|(_, k)| *k == MetricKind::Gauge).map(|(n, _)| *n).collect();
+        assert_eq!(
+            gauges,
+            ["registered_bytes", "registered_bytes_peak", "inflight_hwm", "reactor_parked_hwm"],
+        );
     }
 
     #[test]

@@ -393,7 +393,9 @@ impl TpchCluster {
         drop(self.conns);
         for s in self.servers {
             match s {
-                WorkerServer::Hat(h) => h.shutdown(),
+                WorkerServer::Hat(h) => {
+                    h.shutdown();
+                }
                 WorkerServer::Ipoib { shutdown, mut thread } => {
                     shutdown.store(true, std::sync::atomic::Ordering::Release);
                     if let Some(t) = thread.take() {

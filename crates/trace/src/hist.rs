@@ -19,6 +19,10 @@ use std::sync::{Mutex, OnceLock};
 /// Number of buckets: one zero bucket plus one per bit position.
 const BUCKETS: usize = 65;
 
+/// Public bucket count, for consumers (the hat-metrics sampler) that
+/// mirror the cumulative bucket array into their own storage.
+pub const NUM_BUCKETS: usize = BUCKETS;
+
 /// A concurrent log2 histogram. All operations are relaxed atomics.
 #[derive(Debug)]
 pub struct Histogram {
@@ -61,6 +65,34 @@ fn bucket_upper(i: usize) -> u64 {
     } else {
         (1u64 << i) - 1
     }
+}
+
+/// Inclusive upper bound of bucket `i` (public mirror of the internal
+/// bucket geometry, so delta consumers can label and rank their copies).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    bucket_upper(i)
+}
+
+/// The `q`-quantile of an externally held bucket-count array (e.g. the
+/// *delta* between two cumulative snapshots over a rolling window):
+/// upper bound of the bucket the rank lands in. Returns 0 when the
+/// array is empty. Unlike [`Histogram::percentile`] there is no
+/// min/max clamp — delta windows don't carry exact extrema.
+pub fn percentile_of(buckets: &[u64; NUM_BUCKETS], q: f64) -> u64 {
+    let n: u64 = buckets.iter().sum();
+    if n == 0 {
+        return 0;
+    }
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    let mut seen = 0u64;
+    for (i, c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper(i);
+        }
+    }
+    bucket_upper(BUCKETS - 1)
 }
 
 impl Histogram {
@@ -154,6 +186,19 @@ impl Histogram {
         self.percentile(0.99)
     }
 
+    /// Copy the raw cumulative state into `out` (count, sum, and every
+    /// bucket). Relaxed loads: a reader racing `record` can see a value
+    /// counted in `count` but not yet in its bucket (or vice versa) —
+    /// each individual field is monotonically non-decreasing, which is
+    /// the property delta samplers rely on.
+    pub fn cumulative_into(&self, out: &mut CumulativeSnapshot) {
+        out.count = self.count();
+        out.sum = self.sum.load(Ordering::Relaxed);
+        for (slot, c) in out.buckets.iter_mut().zip(self.counts.iter()) {
+            *slot = c.load(Ordering::Relaxed);
+        }
+    }
+
     /// Plain-data snapshot for reporting.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -178,6 +223,26 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     pub p90: u64,
     pub p99: u64,
+}
+
+/// Raw cumulative state of a [`Histogram`]: the delta between two of
+/// these (taken at different times) is the distribution of everything
+/// recorded in between — the substrate live samplers build rolling
+/// windows from. Every field is monotonically non-decreasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CumulativeSnapshot {
+    /// Values recorded so far.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket counts (log2 geometry, see [`bucket_upper_bound`]).
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for CumulativeSnapshot {
+    fn default() -> Self {
+        CumulativeSnapshot { count: 0, sum: 0, buckets: [0; NUM_BUCKETS] }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -237,7 +302,7 @@ pub fn reset() {
 /// steady-state hit path takes the lock and compares — no allocation.
 #[inline]
 pub fn record_latency(protocol: &'static str, fn_scope: &str, bytes: u64, latency_ns: u64) {
-    if !crate::enabled() {
+    if !crate::hist_enabled() {
         return;
     }
     let class = size_class(bytes);
@@ -252,6 +317,21 @@ pub fn record_latency(protocol: &'static str, fn_scope: &str, bytes: u64, latenc
     let h = Histogram::default();
     h.record(latency_ns);
     reg.push((Key { protocol, fn_scope: fn_scope.to_string(), size_class: class }, h));
+}
+
+/// Visit every registered histogram's raw cumulative state without
+/// allocating: the callback gets `(protocol, fn_scope, size_class,
+/// cumulative)` with `cumulative` filled into a caller-invisible reused
+/// buffer. Samplers match keys by comparing the borrowed strings against
+/// their own registry and only allocate when a key is new — the
+/// steady-state sample path stays allocation-free.
+pub fn for_each_cumulative(mut f: impl FnMut(&'static str, &str, u8, &CumulativeSnapshot)) {
+    let reg = registry().lock().expect("histogram registry poisoned");
+    let mut cumulative = CumulativeSnapshot::default();
+    for (k, h) in reg.iter() {
+        h.cumulative_into(&mut cumulative);
+        f(k.protocol, &k.fn_scope, k.size_class, &cumulative);
+    }
 }
 
 /// One reported histogram row.

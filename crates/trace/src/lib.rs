@@ -43,6 +43,17 @@ use std::sync::{Mutex, OnceLock};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Whether the latency histograms record. Kept as its *own* flag so the
+/// hot-path check in [`hist::record_latency`] stays exactly one relaxed
+/// load: it is the OR of the event-ring flag and the standalone
+/// histogram requests (see [`hist_handle`]), recomputed on the rare
+/// enable/disable paths.
+static HIST_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Standalone histogram-recording requests (live `hat-metrics` samplers
+/// that want latency distributions without paying for the event ring).
+static HIST_STANDALONE: AtomicUsize = AtomicUsize::new(0);
+
 /// Whether tracing is currently enabled. One relaxed load; inlined into
 /// every recording hook so the disabled path is a compare-and-branch.
 #[inline(always)]
@@ -50,9 +61,43 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Whether latency histograms are recording (event-ring tracing on, or
+/// at least one standalone histogram handle live). One relaxed load.
+#[inline(always)]
+pub fn hist_enabled() -> bool {
+    HIST_ENABLED.load(Ordering::Relaxed)
+}
+
 /// Turn tracing on or off process-wide.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
+    recompute_hist_enabled();
+}
+
+fn recompute_hist_enabled() {
+    let on = ENABLED.load(Ordering::Relaxed) || HIST_STANDALONE.load(Ordering::Relaxed) > 0;
+    HIST_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// RAII handle keeping latency histograms recording while the full
+/// event-ring tracing stays off. A live-telemetry sampler holds one for
+/// its lifetime; histograms stop recording when the last handle drops
+/// (unless [`set_enabled`]\(true\) keeps them on).
+#[derive(Debug)]
+pub struct HistHandle(());
+
+/// Enable standalone histogram recording for the lifetime of the handle.
+pub fn hist_handle() -> HistHandle {
+    HIST_STANDALONE.fetch_add(1, Ordering::Relaxed);
+    recompute_hist_enabled();
+    HistHandle(())
+}
+
+impl Drop for HistHandle {
+    fn drop(&mut self) {
+        HIST_STANDALONE.fetch_sub(1, Ordering::Relaxed);
+        recompute_hist_enabled();
+    }
 }
 
 /// Clear all captured state: the event ring, call metadata, annotations,
@@ -167,6 +212,11 @@ pub enum Phase {
     /// Engine: a reactor resumed a connection state machine and served at
     /// least one request (`arg` = requests served this resume).
     ReactorResume = 19,
+    /// Metrics: an SLO's rolling-window p99 crossed its latency target
+    /// (`arg` = the window p99 in ns). Emitted edge-triggered by the
+    /// hat-metrics SLO engine so breaches land on the Perfetto timeline
+    /// next to the RPCs that caused them.
+    SloBreach = 20,
 }
 
 impl Phase {
@@ -193,6 +243,7 @@ impl Phase {
             Phase::OneSidedFallback => "onesided_fallback",
             Phase::ReactorWakeup => "reactor_wakeup",
             Phase::ReactorResume => "reactor_resume",
+            Phase::SloBreach => "slo_breach",
         }
     }
 
@@ -206,7 +257,8 @@ impl Phase {
             | Phase::Retry
             | Phase::TimedOut
             | Phase::ReactorWakeup
-            | Phase::ReactorResume => "rpc",
+            | Phase::ReactorResume
+            | Phase::SloBreach => "rpc",
             Phase::WrPost
             | Phase::Doorbell
             | Phase::NicTx
@@ -240,6 +292,7 @@ impl Phase {
             17 => Phase::OneSidedFallback,
             18 => Phase::ReactorWakeup,
             19 => Phase::ReactorResume,
+            20 => Phase::SloBreach,
             _ => Phase::Note,
         }
     }
@@ -548,7 +601,7 @@ mod tests {
 
     #[test]
     fn phase_names_and_categories_cover_all() {
-        for v in 0..=17u8 {
+        for v in 0..=20u8 {
             let p = Phase::from_u8(v);
             assert!(!p.name().is_empty());
             assert!(matches!(p.category(), "rpc" | "sim" | "proto" | "note"));

@@ -22,6 +22,7 @@ pub use hat_codegen as codegen;
 pub use hat_hatkv as hatkv;
 pub use hat_idl as idl;
 pub use hat_kvdb as kvdb;
+pub use hat_metrics as metrics;
 pub use hat_protocols as protocols;
 pub use hat_rdma_sim as rdma;
 pub use hat_tpch as tpch;

@@ -50,6 +50,19 @@ fn client_policy() -> CallPolicy {
 /// Drive the stress mix against an already-started server and return the
 /// number of reader snapshots that observed a non-initial marker.
 fn stress(fabric: &Fabric, server: &HatKvServer, service: &str) -> usize {
+    stress_with(fabric, server, service, Arc::new(|_, _| {}))
+}
+
+/// [`stress`] with a per-round hook: each writer calls
+/// `on_round(writer, round)` immediately before issuing that round's
+/// MultiPUT, giving tests a deterministic point in the workload's own
+/// control flow to arm fault triggers from.
+fn stress_with(
+    fabric: &Fabric,
+    server: &HatKvServer,
+    service: &str,
+    on_round: Arc<dyn Fn(usize, usize) + Send + Sync>,
+) -> usize {
     let db = server.db().clone();
     let keys = keys();
 
@@ -65,11 +78,13 @@ fn stress(fabric: &Fabric, server: &HatKvServer, service: &str) -> usize {
         let schema = schema.clone();
         let keys = keys.clone();
         let service = service.to_string();
+        let on_round = on_round.clone();
         writer_handles.push(std::thread::spawn(move || {
             let mut client = HatKVClient::new(
                 HatClient::new(&fabric, &node, &service, &schema).with_policy(client_policy()),
             );
             for round in 1..=ROUNDS {
+                on_round(w, round);
                 let values = (0..keys.len()).map(|_| marker(w, round)).collect();
                 client.multiput(keys.clone(), values).expect("multiput survives faults");
             }
@@ -215,20 +230,32 @@ fn concurrent_writers_and_readers_never_observe_torn_batches_unsharded() {
 
 #[test]
 fn qp_flush_mid_multiput_retries_without_tearing_a_shard() {
-    // Flush writer-0's QPs every 512 WRs. Under reader/writer contention
-    // one MultiPUT costs up to ~90 WRs (the reply wait itself posts poll
-    // WRs), so a 20-round run crosses the budget more than once and the
-    // connection dies mid-stream — while a fresh QP can always finish a
-    // single attempt within its own budget. The retry policy re-issues
+    // Arm a QP flush from inside writer-0's own round loop (rounds 5 and
+    // 12): the very next WR writer-0 posts — the round's request send or
+    // a reply-wait poll — fails and flushes its QP, killing the
+    // connection mid-MultiPUT. Unlike the old every-N-WRs budget this is
+    // deterministic on any core count: the trigger is consumed by the
+    // workload's own control flow, not by however many poll WRs a
+    // wall-clock-paced wait happened to post. The retry policy re-issues
     // the batch on a fresh channel; MultiPUT is idempotent, so the only
     // observable must be retry/qp_error counters — never a torn shard.
-    let plan = FaultPlan::new(0xC0FFEE).flush_qp_after(FaultScope::Node("writer-0".into()), 512);
+    let (plan, trigger) =
+        FaultPlan::new(0xC0FFEE).flush_qp_on_trigger(FaultScope::Node("writer-0".into()));
     let fabric = Fabric::new(SimConfig::fast_test().with_fault_plan(plan));
     let snode = fabric.add_node("kv-server");
     let server =
         HatKvServer::start_with_schema(&fabric, &snode, "kv", hat_k_v_schema(), db_config());
 
-    let fresh = stress(&fabric, &server, "kv");
+    let fresh = stress_with(
+        &fabric,
+        &server,
+        "kv",
+        Arc::new(move |writer, round| {
+            if writer == 0 && (round == 5 || round == 12) {
+                trigger.fire();
+            }
+        }),
+    );
     assert!(fresh > 0, "readers must observe at least one post-seed round");
 
     // The fault actually fired on the targeted writer, and retries hid it.
