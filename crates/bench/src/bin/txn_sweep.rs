@@ -1,0 +1,181 @@
+//! `txn_sweep` — cost of the `txn` hint: cross-shard 2PC multiput vs the
+//! plain per-shard multiput, emitting `BENCH_txn.json`.
+//!
+//! ```text
+//! txn_sweep [--check-overhead] [--out PATH]
+//!           [--clients N] [--rounds N] [--batch N] [--commit-cost-ns N]
+//! ```
+//!
+//! Both modes run the identical workload — N clients, each committing R
+//! rounds of a B-key batch over real HatRPC channels against the
+//! hint-sharded HatKV deployment — differing only in the RPC they call:
+//! `multiput` (per-shard atomicity, one WAL commit per shard touched) or
+//! `multiput_txn` (cross-shard atomicity: per-key locks, a prepare
+//! record on every touched shard, then decide-and-apply). Each client
+//! owns a disjoint key set, so the sweep prices the protocol itself —
+//! the extra WAL records and lock traffic — not lock contention.
+//!
+//! `--check-overhead` exits non-zero when the txn path falls below a
+//! quarter of the plain path's throughput: 2PC doubles the WAL records
+//! per shard but must stay in the same regime, and a collapse here means
+//! the fast path regressed or the txn path gained an accidental stall.
+//! CI runs this as part of the bench-smoke gate.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use hat_hatkv::{hat_k_v_schema, HatKVClient, HatKvServer};
+use hat_kvdb::DbConfig;
+use hat_rdma_sim::{now_ns, Fabric, SimConfig};
+use hatrpc_core::engine::HatClient;
+
+const OVERHEAD_FLOOR: f64 = 0.25;
+
+struct Mode {
+    label: &'static str,
+    txn: bool,
+}
+
+struct Row {
+    label: &'static str,
+    ops_per_sec: f64,
+    call_mean_us: f64,
+    txn_commits: u64,
+    txn_aborts: u64,
+    wal_commits: u64,
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run_mode(mode: &Mode, clients: usize, rounds: usize, batch: usize, commit_cost_ns: u64) -> Row {
+    let fabric = Fabric::new(SimConfig::default());
+    let snode = fabric.add_node("kv-server");
+    let server = HatKvServer::start_with_schema(
+        &fabric,
+        &snode,
+        "kv",
+        hat_k_v_schema(),
+        DbConfig { commit_cost_ns: Some(commit_cost_ns), ..Default::default() },
+    );
+
+    let barrier = Arc::new(std::sync::Barrier::new(clients + 1));
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let fabric = fabric.clone();
+        let schema = server.schema().clone();
+        let barrier = barrier.clone();
+        let txn = mode.txn;
+        handles.push(std::thread::spawn(move || -> (u64, usize) {
+            let node = fabric.add_node(&format!("txn-bench-{c}"));
+            let mut client = HatKVClient::new(HatClient::new(&fabric, &node, "kv", &schema));
+            // Disjoint per-client key sets: the sweep prices the 2PC
+            // protocol, not inter-client lock contention.
+            let keys: Vec<Vec<u8>> =
+                (0..batch).map(|i| format!("c{c:02}-k{i:03}").into_bytes()).collect();
+            // Warm the channel outside the measured window.
+            let _ = client.get(keys[0].clone());
+            barrier.wait();
+            let mut busy_ns = 0u64;
+            for round in 0..rounds {
+                let values: Vec<Vec<u8>> = keys.iter().map(|_| vec![round as u8; 100]).collect();
+                let t = now_ns();
+                if txn {
+                    client.multiput_txn(keys.clone(), values).expect("txn multiput");
+                } else {
+                    client.multiput(keys.clone(), values).expect("plain multiput");
+                }
+                busy_ns += now_ns() - t;
+            }
+            (busy_ns, rounds * batch)
+        }));
+    }
+    barrier.wait();
+    let t0 = now_ns();
+    let mut busy_ns = 0u64;
+    let mut ops = 0usize;
+    for h in handles {
+        let (b, o) = h.join().expect("bench client");
+        busy_ns += b;
+        ops += o;
+    }
+    let elapsed_ns = (now_ns() - t0).max(1);
+    let calls = (clients * rounds) as f64;
+    let txn_stats = server.db().txn_stats();
+    let wal_commits: u64 = server.db().shard_stats().iter().map(|s| s.commits).sum();
+    server.shutdown();
+    Row {
+        label: mode.label,
+        ops_per_sec: ops as f64 * 1e9 / elapsed_ns as f64,
+        call_mean_us: busy_ns as f64 / calls / 1000.0,
+        txn_commits: txn_stats.commits,
+        txn_aborts: txn_stats.aborts,
+        wal_commits,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check-overhead");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_txn.json".to_string());
+    let clients: usize = flag_value(&args, "--clients").map_or(4, |v| v.parse().expect("int"));
+    let rounds: usize = flag_value(&args, "--rounds").map_or(30, |v| v.parse().expect("int"));
+    let batch: usize = flag_value(&args, "--batch").map_or(16, |v| v.parse().expect("int"));
+    let commit_cost_ns: u64 =
+        flag_value(&args, "--commit-cost-ns").map_or(200_000, |v| v.parse().expect("int"));
+
+    let modes = [Mode { label: "multiput", txn: false }, Mode { label: "multiput_txn", txn: true }];
+    let rows: Vec<Row> =
+        modes.iter().map(|m| run_mode(m, clients, rounds, batch, commit_cost_ns)).collect();
+    for row in &rows {
+        eprintln!(
+            "txn_sweep: {:>12}: {:>10.0} ops/s  {:>8.1} us/call  ({} txn commits, {} aborts)",
+            row.label, row.ops_per_sec, row.call_mean_us, row.txn_commits, row.txn_aborts,
+        );
+    }
+
+    let plain = rows[0].ops_per_sec.max(1.0);
+    let ratio = rows[1].ops_per_sec / plain;
+    let expected_txns = (clients * rounds) as u64;
+    assert_eq!(rows[1].txn_commits, expected_txns, "every txn round committed exactly once");
+    assert_eq!(rows[1].txn_aborts, 0, "disjoint key sets must never abort");
+    assert_eq!(rows[0].txn_commits, 0, "the plain path must never enter the 2PC machinery");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"txn_sweep\",");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"batch\": {batch},");
+    let _ = writeln!(json, "  \"commit_cost_ns\": {commit_cost_ns},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"ops_per_sec\": {:.1}, \"call_mean_us\": {:.1}, \
+             \"txn_commits\": {}, \"txn_aborts\": {}, \"wal_commits\": {}}}{comma}",
+            row.label,
+            row.ops_per_sec,
+            row.call_mean_us,
+            row.txn_commits,
+            row.txn_aborts,
+            row.wal_commits,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"txn_over_plain_throughput\": {ratio:.3}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write BENCH_txn.json");
+    println!("txn_sweep: wrote {out_path}");
+    println!("txn_sweep: txn path runs at {:.2}x the plain multiput throughput", ratio);
+
+    if check && ratio < OVERHEAD_FLOOR {
+        eprintln!(
+            "txn_sweep: FAIL — txn throughput ratio {ratio:.2}x is below the \
+             {OVERHEAD_FLOOR}x floor"
+        );
+        std::process::exit(1);
+    }
+}

@@ -92,6 +92,14 @@ struct Preamble {
 /// `{service}#onesided` side-channel to exist.
 const FLAG_ONESIDED: u8 = 1;
 
+/// Preamble flag: the function's writes are hinted `txn = true` — the
+/// client expects multi-key batches to commit atomically across the
+/// service's backend shards (2PC over the per-shard WALs). Like
+/// [`FLAG_ONESIDED`] this is a capability advertisement only: it never
+/// changes the wire protocol, and the server's handler — not the channel
+/// — enforces the transactional semantics.
+const FLAG_TXN: u8 = 2;
+
 /// Fixed-size prefix of the encoded preamble, before the variable scope.
 const PREAMBLE_FIXED: usize = 25;
 /// Byte budget for the function scope carried in the preamble.
@@ -190,6 +198,11 @@ struct FnPlan {
     /// Resolved client-side `onesided_get` hint: GETs first try the
     /// server-bypass READ path, falling back to this plan's channel.
     onesided: bool,
+    /// Resolved `txn` hint: the function's multi-key writes commit
+    /// atomically across backend shards. Advertised in the preamble flag
+    /// byte, enforced by the server handler — never part of
+    /// [`ChannelKey`], so hinted and unhinted functions share channels.
+    txn: bool,
     key: ChannelKey,
 }
 
@@ -250,6 +263,10 @@ fn plan_for(schema: &ServiceSchema, func: &str, bounds: &SubscriptionBounds) -> 
         // Unlike `shards`, `onesided_get` is client-visible: the client
         // itself changes its access pattern, so it resolves client-side.
         onesided: client.onesided_get.unwrap_or(false) && !tcp,
+        // `txn` resolves client-side like `onesided_get`: the client
+        // chooses to call the transactional functions and advertises that
+        // in the preamble; the semantics live entirely in the handler.
+        txn: client.txn.unwrap_or(false),
         key: ChannelKey {
             kind: selection.protocol,
             poll: selection.poll,
@@ -416,6 +433,13 @@ impl HatClient {
     /// pre-group batched keys.
     pub fn shards_for(&self, func: &str) -> u32 {
         self.plans.get(func).unwrap_or(&self.default_plan).shards
+    }
+
+    /// Whether `func` resolved the `txn` hint (multi-key writes commit
+    /// atomically across backend shards). Introspection for tests and the
+    /// repro harness; the semantics are enforced server-side.
+    pub fn txn_for(&self, func: &str) -> bool {
+        self.plans.get(func).unwrap_or(&self.default_plan).txn
     }
 
     /// Number of distinct channels currently open.
@@ -1075,7 +1099,8 @@ impl HatClient {
             ring_slots: ring_slots as u32,
             eager_threshold: ENGINE_EAGER_THRESHOLD as u32,
             queue_depth: plan.queue_depth,
-            flags: if plan.onesided { FLAG_ONESIDED } else { 0 },
+            flags: (if plan.onesided { FLAG_ONESIDED } else { 0 })
+                | (if plan.txn { FLAG_TXN } else { 0 }),
             fn_scope: func.to_string(),
         };
         let ack = hat_protocols::exchange_blobs_deadline(
@@ -1602,11 +1627,20 @@ mod tests {
             ring_slots: 16,
             eager_threshold: 4096,
             queue_depth: 8,
-            flags: FLAG_ONESIDED,
+            flags: FLAG_ONESIDED | FLAG_TXN,
             fn_scope: "bulk".into(),
         };
         assert_eq!(Preamble::decode(&p.encode()).unwrap(), p);
         assert!(Preamble::decode(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn preamble_flag_bits_are_distinct() {
+        // Each capability owns one bit of the flag byte; a collision
+        // would make one hint silently imply the other on the wire.
+        assert_eq!(FLAG_ONESIDED & FLAG_TXN, 0);
+        assert_eq!(FLAG_ONESIDED.count_ones(), 1);
+        assert_eq!(FLAG_TXN.count_ones(), 1);
     }
 
     #[test]
@@ -1670,6 +1704,10 @@ mod tests {
             proptest::prop_assert_eq!(d.eager_threshold, eager_threshold);
             proptest::prop_assert_eq!(d.queue_depth, queue_depth);
             proptest::prop_assert_eq!(d.flags, flags);
+            // Capability bits decode independently: whatever else is in
+            // the byte, the ONESIDED and TXN bits survive untouched.
+            proptest::prop_assert_eq!(d.flags & FLAG_ONESIDED, flags & FLAG_ONESIDED);
+            proptest::prop_assert_eq!(d.flags & FLAG_TXN, flags & FLAG_TXN);
             proptest::prop_assert!(d.fn_scope.len() <= MAX_SCOPE_BYTES);
             proptest::prop_assert!(scope.starts_with(&d.fn_scope));
             if scope.len() <= MAX_SCOPE_BYTES {
@@ -2012,6 +2050,56 @@ mod tests {
         client.call("put", b"a").unwrap();
         client.call("greedy", b"b").unwrap();
         assert_eq!(client.open_channels(), 1, "shards=8 and shards=64 share one channel");
+        drop(client);
+        server.shutdown();
+    }
+
+    /// A service where only some write functions opt into cross-shard
+    /// transactions, with identical payload hints on both variants.
+    const TXN_IDL: &str = r#"
+        service TxnStore {
+            s_hint: shards = 4;
+            binary put(1: binary k) [ hint: payload_size = 512; ]
+            binary put_txn(1: binary k) [ hint: payload_size = 512, txn = true; ]
+            binary put_plain(1: binary k) [ hint: payload_size = 512, txn = false; ]
+        }
+    "#;
+
+    #[test]
+    fn txn_hint_resolves_into_the_plan() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let cnode = fabric.add_node("client");
+        let schema = ServiceSchema::parse(TXN_IDL, "TxnStore").unwrap();
+        let client = HatClient::new(&fabric, &cnode, "txnstore", &schema);
+        assert!(client.txn_for("put_txn"), "explicit txn = true resolves");
+        assert!(!client.txn_for("put"), "unhinted functions stay non-transactional");
+        assert!(!client.txn_for("put_plain"), "explicit txn = false stays off");
+        assert!(!client.txn_for("unknown"), "functions outside the schema inherit nothing");
+    }
+
+    /// Mirror of [`shards_do_not_split_channels`] for the `txn` hint: a
+    /// transactional function and its plain sibling must share one
+    /// channel — `txn` changes handler semantics and a preamble flag bit,
+    /// never the wire protocol or the channel key.
+    #[test]
+    fn txn_does_not_split_channels() {
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let snode = fabric.add_node("server");
+        let schema = ServiceSchema::parse(TXN_IDL, "TxnStore").unwrap();
+        let server = HatServer::serve(
+            &fabric,
+            &snode,
+            "txnstore",
+            schema.clone(),
+            ServerPolicy::Threaded,
+            echo_factory(),
+        );
+        let cnode = fabric.add_node("client");
+        let mut client = HatClient::new(&fabric, &cnode, "txnstore", &schema);
+        client.call("put", b"a").unwrap();
+        client.call("put_txn", b"b").unwrap();
+        client.call("put_plain", b"c").unwrap();
+        assert_eq!(client.open_channels(), 1, "txn on/off share one channel");
         drop(client);
         server.shutdown();
     }

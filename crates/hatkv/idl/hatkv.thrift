@@ -19,4 +19,6 @@ service HatKV {
     void put(1: binary key, 2: binary value) [ c_hint: payload_size = 2K; s_hint: payload_size = 64; ]
     list<binary> multiget(1: list<binary> keys) [ hint: payload_size = 16K, onesided_get = true; ]
     void multiput(1: list<binary> keys, 2: list<binary> values) [ c_hint: payload_size = 16K; s_hint: payload_size = 64; ]
+    void multiput_txn(1: list<binary> keys, 2: list<binary> values) [ hint: txn = true; c_hint: payload_size = 16K; s_hint: payload_size = 64; ]
+    void multidel_txn(1: list<binary> keys) [ hint: txn = true; c_hint: payload_size = 16K; s_hint: payload_size = 64; ]
 }

@@ -12,8 +12,9 @@ use hatrpc_core::service::ServiceSchema;
 use crate::generated::HatKVHandler;
 
 /// Publishes the storage backend's counters into a node's [`NodeStats`]
-/// (`kv_txns`, `kv_writer_wait_ns`, `kv_bytes_written`) so `repro stats`
-/// surfaces them next to the RDMA counters.
+/// (`kv_txns`, `kv_writer_wait_ns`, `kv_bytes_written`, and the 2PC
+/// `kv_txn_commits`/`kv_txn_aborts`/`kv_txn_recovered` trio) so
+/// `repro stats` surfaces them next to the RDMA counters.
 ///
 /// The backend keeps cumulative totals; this mirror tracks the last
 /// published values so concurrent handler clones sharing one mirror never
@@ -21,25 +22,37 @@ use crate::generated::HatKVHandler;
 #[derive(Debug)]
 pub struct StatsMirror {
     node: Arc<Node>,
-    /// Last published (commits, writer_wait_ns, bytes_written).
-    last: parking_lot::Mutex<(u64, u64, u64)>,
+    /// Last published (commits, writer_wait_ns, bytes_written,
+    /// txn_commits, txn_aborts, txn_recovered).
+    last: parking_lot::Mutex<(u64, u64, u64, u64, u64, u64)>,
 }
 
 impl StatsMirror {
     /// Mirror backend counters into `node`'s stats.
     pub fn new(node: Arc<Node>) -> Arc<StatsMirror> {
-        Arc::new(StatsMirror { node, last: parking_lot::Mutex::new((0, 0, 0)) })
+        Arc::new(StatsMirror { node, last: parking_lot::Mutex::new((0, 0, 0, 0, 0, 0)) })
     }
 
     /// Publish the delta since the previous call.
     fn publish(&self, db: &ShardedDb) {
         let agg = db.stats();
-        let now = (agg.commits, agg.writer_wait_ns, agg.bytes_written);
+        let txn = db.txn_stats();
+        let now = (
+            agg.commits,
+            agg.writer_wait_ns,
+            agg.bytes_written,
+            txn.commits,
+            txn.aborts,
+            txn.recovered,
+        );
         let mut last = self.last.lock();
         let stats = self.node.stats();
         NodeStats::add(&stats.kv_txns, now.0.saturating_sub(last.0));
         NodeStats::add(&stats.kv_writer_wait_ns, now.1.saturating_sub(last.1));
         NodeStats::add(&stats.kv_bytes_written, now.2.saturating_sub(last.2));
+        NodeStats::add(&stats.kv_txn_commits, now.3.saturating_sub(last.3));
+        NodeStats::add(&stats.kv_txn_aborts, now.4.saturating_sub(last.4));
+        NodeStats::add(&stats.kv_txn_recovered, now.5.saturating_sub(last.5));
         *last = now;
     }
 }
@@ -144,6 +157,32 @@ impl HatKVHandler for KvStoreHandler {
         self.published();
         Ok(())
     }
+
+    fn multiput_txn(&mut self, keys: Vec<Vec<u8>>, values: Vec<Vec<u8>>) -> Result<()> {
+        if keys.len() != values.len() {
+            return Err(CoreError::Application(format!(
+                "multiput_txn arity mismatch: {} keys, {} values",
+                keys.len(),
+                values.len()
+            )));
+        }
+        // The `txn` hint path: one 2PC transaction across every shard the
+        // batch touches. An error here means the batch is NOT applied
+        // (lock timeout / prepare failure aborted it everywhere).
+        let result = self
+            .db
+            .multi_put_txn(keys.into_iter().zip(values))
+            .map_err(|e| CoreError::Application(format!("txn: {e}")));
+        self.published();
+        result
+    }
+
+    fn multidel_txn(&mut self, keys: Vec<Vec<u8>>) -> Result<()> {
+        let result =
+            self.db.multi_del_txn(keys).map_err(|e| CoreError::Application(format!("txn: {e}")));
+        self.published();
+        result
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +232,44 @@ mod tests {
         let mut h = handler();
         let err = h.multiput(vec![b"a".to_vec()], vec![]).unwrap_err();
         assert!(matches!(err, CoreError::Application(m) if m.contains("arity")));
+    }
+
+    #[test]
+    fn multiput_txn_commits_atomically_and_multidel_txn_removes() {
+        let mut h = handler();
+        let keys: Vec<Vec<u8>> = (0..12u8).map(|i| vec![b't', i]).collect();
+        let values: Vec<Vec<u8>> = (0..12u8).map(|i| vec![i; 32]).collect();
+        h.multiput_txn(keys.clone(), values.clone()).unwrap();
+        assert_eq!(h.multiget(keys.clone()).unwrap(), values);
+        let txn = h.db().txn_stats();
+        assert_eq!(txn.commits, 1, "one 2PC commit regardless of shards touched");
+        assert_eq!(txn.aborts, 0);
+
+        h.multidel_txn(keys.clone()).unwrap();
+        assert!(h.multiget(keys).unwrap().iter().all(|v| v.is_empty()), "all deleted");
+        assert_eq!(h.db().txn_stats().commits, 2);
+    }
+
+    #[test]
+    fn multiput_txn_arity_mismatch_rejected_before_locking() {
+        let mut h = handler();
+        let err = h.multiput_txn(vec![b"a".to_vec()], vec![]).unwrap_err();
+        assert!(matches!(err, CoreError::Application(m) if m.contains("arity")));
+        assert_eq!(h.db().txn_stats().aborts, 0, "rejected before the 2PC machinery ran");
+    }
+
+    #[test]
+    fn mirror_publishes_txn_outcome_counters() {
+        use hat_rdma_sim::{Fabric, SimConfig};
+        let fabric = Fabric::new(SimConfig::fast_test());
+        let node = fabric.add_node("kv");
+        let mut h = handler().with_mirror(StatsMirror::new(node.clone()));
+        h.multiput_txn(vec![b"x".to_vec(), b"y".to_vec()], vec![vec![1; 8], vec![2; 8]]).unwrap();
+        h.multidel_txn(vec![b"x".to_vec()]).unwrap();
+        let snap = node.stats_snapshot();
+        assert_eq!(snap.kv_txn_commits, 2, "both txn batches committed: {snap:?}");
+        assert_eq!(snap.kv_txn_aborts, 0);
+        assert_eq!(snap.kv_txn_recovered, 0);
     }
 
     #[test]

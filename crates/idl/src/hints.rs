@@ -17,6 +17,7 @@
 //! | `queue_depth` | positive integer | pipelined in-flight request window |
 //! | `shards` | positive integer | backend storage partitions (server side) |
 //! | `onesided_get` | `true`, `false` | client bypasses the server CPU for GETs via RDMA READs |
+//! | `txn` | `true`, `false` | multi-key writes commit atomically across backend shards (2PC) |
 //!
 //! Unknown keys or malformed values are *filtered out* during validation
 //! and reported as warnings — exactly the paper's check/merge pass — so a
@@ -183,6 +184,12 @@ pub struct HintSet {
     /// path on miss or version conflict. Unlike `shards`, this hint is
     /// client-visible: the *client* changes its access pattern.
     pub onesided_get: Option<bool>,
+    /// `txn`: the function's multi-key writes commit atomically across
+    /// the server's backend shards via two-phase commit over the
+    /// per-shard WALs. Like `onesided_get` it is advertised in the
+    /// preamble flag byte but never changes the wire protocol or splits
+    /// channels; functions without it keep the single-shard fast path.
+    pub txn: Option<bool>,
 }
 
 /// A non-fatal validation complaint (unknown key / bad value).
@@ -279,6 +286,11 @@ impl HintSet {
                     "false" | "0" | "off" => set.onesided_get = Some(false),
                     _ => warn("expected true | false"),
                 },
+                "txn" => match value {
+                    "true" | "1" | "on" => set.txn = Some(true),
+                    "false" | "0" | "off" => set.txn = Some(false),
+                    _ => warn("expected true | false"),
+                },
                 _ => warn("unknown hint key"),
             }
         }
@@ -305,6 +317,7 @@ impl HintSet {
             queue_depth: other.queue_depth.or(self.queue_depth),
             shards: other.shards.or(self.shards),
             onesided_get: other.onesided_get.or(self.onesided_get),
+            txn: other.txn.or(self.txn),
         }
     }
 }
@@ -426,6 +439,7 @@ mod tests {
                 ("queue_depth", "8"),
                 ("shards", "4"),
                 ("onesided_get", "true"),
+                ("txn", "true"),
             ],
             &mut warnings,
         );
@@ -440,6 +454,20 @@ mod tests {
         assert_eq!(set.queue_depth, Some(8));
         assert_eq!(set.shards, Some(4));
         assert_eq!(set.onesided_get, Some(true));
+        assert_eq!(set.txn, Some(true));
+    }
+
+    #[test]
+    fn txn_parses_booleans_and_rejects_garbage() {
+        let mut warnings = Vec::new();
+        let set = HintSet::from_raw([("txn", "on")], &mut warnings);
+        assert_eq!(set.txn, Some(true));
+        let set = HintSet::from_raw([("txn", "off")], &mut warnings);
+        assert_eq!(set.txn, Some(false));
+        assert!(warnings.is_empty());
+        let set = HintSet::from_raw([("txn", "perhaps")], &mut warnings);
+        assert_eq!(set.txn, None);
+        assert_eq!(warnings.len(), 1);
     }
 
     #[test]

@@ -43,9 +43,13 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-pub use sharded::{clamp_shard_count, ShardedDb, ShardedReadTxn, WriteObserver, MAX_SHARDS};
+pub use sharded::{
+    clamp_shard_count, ShardedDb, ShardedReadTxn, TxnCrashPoint, TxnError, TxnStatsSnapshot,
+    WriteObserver, MAX_SHARDS, TXN_LOCK_DEADLINE,
+};
 use tree::Node;
-use wal::{Wal, WalOp};
+use wal::Wal;
+pub use wal::{WalOp, WalRecovery};
 
 /// Durability level applied at commit (LMDB's sync flags).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -206,12 +210,31 @@ impl Database {
     /// Open (or create) a persistent database backed by a write-ahead log
     /// at `path`. Committed transactions are replayed on open; the
     /// [`SyncMode`] picks the real flush discipline per commit.
+    ///
+    /// A standalone database has no sibling shards to consult, so any
+    /// in-doubt 2PC transaction left in the log resolves as presumed
+    /// abort (an abort decision is appended so later opens skip it).
     pub fn open(path: &std::path::Path, config: DbConfig) -> std::io::Result<Database> {
-        let (wal, committed) = Wal::open(path)?;
+        let (db, recovery) = Database::open_recover(path, config)?;
+        for (txn_id, _ops) in recovery.in_doubt {
+            db.txn_abort(txn_id)?;
+        }
+        Ok(db)
+    }
+
+    /// [`Database::open`] without in-doubt resolution: committed batches
+    /// are replayed and the leftover 2PC state is returned for the caller
+    /// — [`ShardedDb::open`] — to resolve against its sibling shards.
+    /// `recovery.committed` comes back drained (already applied).
+    pub fn open_recover(
+        path: &std::path::Path,
+        config: DbConfig,
+    ) -> std::io::Result<(Database, WalRecovery)> {
+        let (wal, mut recovery) = Wal::open(path)?;
         let db = Database::new(config);
         {
             let mut txn = db.begin_write().expect("fresh writer");
-            for batch in committed {
+            for batch in recovery.committed.drain(..) {
                 for op in batch {
                     match op {
                         WalOp::Put(k, v) => txn.put(&k, &v),
@@ -225,7 +248,39 @@ impl Database {
             txn.commit_replayed();
         }
         *db.inner.wal.lock() = Some(wal);
-        Ok(db)
+        Ok((db, recovery))
+    }
+
+    /// Append a 2PC prepare record for this database's share of
+    /// transaction `txn_id`. Durable per the configured [`SyncMode`]
+    /// before returning; a no-op for in-memory databases (nothing to
+    /// recover from, so there is nothing to prepare).
+    pub fn txn_prepare(&self, txn_id: u64, ops: &[WalOp]) -> std::io::Result<()> {
+        let sync = self.inner.config.read().sync_mode;
+        let mut wal = self.inner.wal.lock();
+        match wal.as_mut() {
+            Some(wal) => {
+                let t0 = std::time::Instant::now();
+                wal.prepare(txn_id, ops, sync)?;
+                self.inner
+                    .stats
+                    .sync_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Append a 2PC abort decision for `txn_id` and count the abort. The
+    /// prepared operations are never applied.
+    pub fn txn_abort(&self, txn_id: u64) -> std::io::Result<()> {
+        let sync = self.inner.config.read().sync_mode;
+        if let Some(wal) = self.inner.wal.lock().as_mut() {
+            wal.decision(txn_id, false, sync)?;
+        }
+        self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Current configuration.
@@ -435,6 +490,45 @@ impl WriteTxn<'_> {
 
     /// Commit without logging (WAL replay path).
     fn commit_replayed(self) {
+        *self.db.inner.root.write() = self.root;
+        self.db.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish this transaction's mutations as the *apply* step of a 2PC
+    /// commit: instead of re-logging the operations (the prepare record
+    /// already holds them), append a `DECISION(commit)` marker for
+    /// `txn_id` and publish the new root — all while still holding the
+    /// writer lock, so the log's decision order matches the shard's
+    /// apply order exactly.
+    pub fn commit_txn(self, txn_id: u64) {
+        let (sync, cost_override) = {
+            let cfg = self.db.inner.config.read();
+            (cfg.sync_mode, cfg.commit_cost_ns)
+        };
+        let mut wal = self.db.inner.wal.lock();
+        match wal.as_mut() {
+            Some(wal) => {
+                let t0 = std::time::Instant::now();
+                wal.decision(txn_id, true, sync).expect("WAL append");
+                self.db
+                    .inner
+                    .stats
+                    .sync_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            None => {
+                let cost = cost_override.unwrap_or_else(|| sync.commit_cost_ns());
+                if self.dirty && cost > 0 {
+                    // Model the fsync stall, as `commit` does.
+                    let start = std::time::Instant::now();
+                    while (std::time::Instant::now() - start).as_nanos() < cost as u128 {
+                        std::thread::yield_now();
+                    }
+                    self.db.inner.stats.sync_ns.fetch_add(cost, Ordering::Relaxed);
+                }
+            }
+        }
+        drop(wal);
         *self.db.inner.root.write() = self.root;
         self.db.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
     }

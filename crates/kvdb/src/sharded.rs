@@ -23,12 +23,45 @@
 //! per shard in a directory. The shard count is part of the on-disk
 //! layout: reopening must use the same count, or keys recover into shards
 //! the hash no longer routes to.
+//!
+//! ## Cross-shard transactions (2PC)
+//!
+//! [`ShardedDb::multi_put_txn`] / [`ShardedDb::multi_del_txn`] close the
+//! atomicity gap for callers that opt in (the `txn` IDL hint): the handle
+//! acts as a two-phase-commit coordinator over its own shards.
+//!
+//! 1. **Lock** — per-shard key-lock tables are acquired in ascending
+//!    shard order (a global order, so concurrent transactions cannot
+//!    deadlock), each wait bounded by one transaction-wide deadline.
+//! 2. **Prepare** — every touched shard appends a `PREPARE(txn_id, ops)`
+//!    record to its own WAL, durable per the configured sync mode.
+//! 3. **Decide + apply** — every touched shard appends
+//!    `DECISION(txn_id, commit)` and publishes the new tree while still
+//!    holding its writer lock, so log order equals apply order.
+//!
+//! Recovery ([`ShardedDb::open`]) resolves transactions that crashed
+//! between phases: a prepared-but-undecided transaction rolls *forward*
+//! if any sibling shard logged a commit decision (the coordinator had
+//! decided; the ack may even have been sent), and aborts otherwise
+//! (presumed abort — the coordinator died before deciding, so the client
+//! cannot have been acknowledged).
 
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
 
 use crate::cursor::Cursor;
+use crate::wal::WalOp;
 use crate::{Database, DbConfig, DbStatsSnapshot, KvError, ReadTxn};
+
+/// Default bound on transaction lock acquisition: long enough to ride out
+/// writer-lock convoys, short enough that a wedged peer cannot hold the
+/// caller forever.
+pub const TXN_LOCK_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Upper bound on the shard count (each shard pins a reader table and a
 /// WAL handle; a runaway `shards` hint must not exhaust them).
@@ -74,6 +107,131 @@ pub trait WriteObserver: Send + Sync {
     fn on_del(&self, key: &[u8]);
 }
 
+/// Errors from the cross-shard transaction path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// Key-lock acquisition exceeded the transaction deadline; the
+    /// transaction was aborted without writing any record.
+    LockTimeout,
+    /// An injected coordinator crash (fault-matrix tests) abandoned the
+    /// protocol mid-flight; recovery on reopen resolves the leftovers.
+    Crashed,
+    /// A WAL append failed during the prepare phase; the transaction was
+    /// aborted on every shard already prepared.
+    Io(String),
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::LockTimeout => write!(f, "transaction lock deadline exceeded"),
+            TxnError::Crashed => write!(f, "coordinator crashed (injected fault)"),
+            TxnError::Io(e) => write!(f, "transaction WAL error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// Plain-data snapshot of the transaction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStatsSnapshot {
+    /// Cross-shard transactions committed (decision recorded everywhere).
+    pub commits: u64,
+    /// Cross-shard transactions aborted (lock timeout or prepare error).
+    pub aborts: u64,
+    /// Distinct in-doubt transactions resolved during recovery.
+    pub recovered: u64,
+}
+
+/// Injected coordinator crash points for the seeded fault matrix: the
+/// armed point is consumed by the next transaction that reaches it, which
+/// then abandons the protocol exactly there — no decisions, no further
+/// records — and returns [`TxnError::Crashed`]. In-memory key locks are
+/// released (a real crash discards them with the process; tests reopen
+/// the directory to model the restart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnCrashPoint {
+    /// Die once `n` shards have logged their prepare record (before any
+    /// decision is written). `n` = all touched shards models a
+    /// coordinator that prepared everywhere but never decided.
+    AfterPrepares(usize),
+    /// Die once `n` shards have logged the commit decision and applied —
+    /// the remaining shards are left prepared-but-undecided, with commit
+    /// evidence on their siblings.
+    AfterDecisions(usize),
+}
+
+/// A shard's key-lock table: transactions hold their keys from lock
+/// acquisition through the last decision, bounding interleaving between
+/// concurrent transactions that touch the same keys.
+#[derive(Default)]
+struct LockTable {
+    held: Mutex<HashSet<Vec<u8>>>,
+    freed: Condvar,
+}
+
+impl LockTable {
+    /// Acquire every key or none: waits (deadline-bounded) until the full
+    /// set is free, so a transaction can never hold a partial key set
+    /// inside one shard.
+    fn lock_keys(&self, keys: &[Vec<u8>], deadline: Instant) -> bool {
+        let mut held = self.held.lock();
+        loop {
+            if keys.iter().all(|k| !held.contains(k)) {
+                for k in keys {
+                    held.insert(k.clone());
+                }
+                return true;
+            }
+            let Some(remaining) =
+                deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            // A timed-out wait loops back once more: the deadline check
+            // above is the single exit condition.
+            let _ = self.freed.wait_for(&mut held, remaining);
+        }
+    }
+
+    fn unlock_keys(&self, keys: &[Vec<u8>]) {
+        let mut held = self.held.lock();
+        for k in keys {
+            held.remove(k);
+        }
+        drop(held);
+        self.freed.notify_all();
+    }
+}
+
+/// Coordinator state shared by every clone of a [`ShardedDb`] handle.
+struct TxnShared {
+    /// Monotonic transaction id source; recovery seeds it above every id
+    /// seen on disk so recycled ids can never match stale decisions.
+    seq: AtomicU64,
+    /// One key-lock table per shard.
+    locks: Vec<LockTable>,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    recovered: AtomicU64,
+    /// Armed crash point, if any (fault-matrix tests).
+    crash: Mutex<Option<TxnCrashPoint>>,
+}
+
+impl TxnShared {
+    fn new(shards: usize) -> TxnShared {
+        TxnShared {
+            seq: AtomicU64::new(0),
+            locks: (0..shards).map(|_| LockTable::default()).collect(),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            crash: Mutex::new(None),
+        }
+    }
+}
+
 /// N independent [`Database`] shards behind one handle (cheaply
 /// cloneable).
 #[derive(Clone)]
@@ -82,6 +240,8 @@ pub struct ShardedDb {
     /// Write observer shared by every clone of this handle (preloads that
     /// bypass the RPC layer still flow through it).
     observer: Arc<parking_lot::RwLock<Option<Arc<dyn WriteObserver>>>>,
+    /// 2PC coordinator state (id source, lock tables, txn counters).
+    txn: Arc<TxnShared>,
 }
 
 impl std::fmt::Debug for ShardedDb {
@@ -103,21 +263,64 @@ impl ShardedDb {
         ShardedDb {
             shards: Arc::new((0..n).map(|_| Database::new(config.clone())).collect()),
             observer: Arc::new(parking_lot::RwLock::new(None)),
+            txn: Arc::new(TxnShared::new(n)),
         }
     }
 
     /// Open (or create) a persistent sharded database: one WAL file per
     /// shard under `dir`. Reopening must use the same shard count.
+    ///
+    /// Recovery resolves in-doubt 2PC transactions across the shard set:
+    /// a prepared-but-undecided transaction rolls forward if *any* shard
+    /// logged its commit decision, and aborts otherwise (presumed abort).
+    /// Either way the resolution is made durable, so a second reopen
+    /// finds nothing in doubt.
     pub fn open(dir: &Path, config: DbConfig, shards: u32) -> std::io::Result<ShardedDb> {
         std::fs::create_dir_all(dir)?;
         let n = clamp_shard_count(shards) as usize;
         let mut opened = Vec::with_capacity(n);
+        let mut recoveries = Vec::with_capacity(n);
         for i in 0..n {
-            opened.push(Database::open(&Self::wal_path(dir, i), config.clone())?);
+            let (db, recovery) = Database::open_recover(&Self::wal_path(dir, i), config.clone())?;
+            opened.push(db);
+            recoveries.push(recovery);
         }
+
+        // Commit evidence from every shard: if any shard logged a commit
+        // decision for txn T, the coordinator had decided commit and T
+        // must roll forward wherever it is still in doubt.
+        let decided_commit: HashSet<u64> =
+            recoveries.iter().flat_map(|r| r.decided_commit.iter().copied()).collect();
+        let max_txn_id = recoveries.iter().map(|r| r.max_txn_id).max().unwrap_or(0);
+
+        let txn = TxnShared::new(n);
+        txn.seq.store(max_txn_id, Ordering::Relaxed);
+        let mut resolved: HashSet<u64> = HashSet::new();
+        for (db, recovery) in opened.iter().zip(recoveries.iter_mut()) {
+            for (txn_id, ops) in recovery.in_doubt.drain(..) {
+                if decided_commit.contains(&txn_id) {
+                    let mut write = db.begin_write().expect("fresh writer");
+                    for op in &ops {
+                        match op {
+                            WalOp::Put(k, v) => write.put(k, v),
+                            WalOp::Del(k) => {
+                                write.del(k);
+                            }
+                        }
+                    }
+                    write.commit_txn(txn_id);
+                } else {
+                    db.txn_abort(txn_id)?;
+                }
+                resolved.insert(txn_id);
+            }
+        }
+        txn.recovered.store(resolved.len() as u64, Ordering::Relaxed);
+
         Ok(ShardedDb {
             shards: Arc::new(opened),
             observer: Arc::new(parking_lot::RwLock::new(None)),
+            txn: Arc::new(txn),
         })
     }
 
@@ -239,6 +442,159 @@ impl ShardedDb {
                 }
             }
             txn.commit();
+        }
+    }
+
+    /// Write a batch **atomically across shards** via two-phase commit
+    /// with the default lock deadline. See [`ShardedDb::txn_write`].
+    pub fn multi_put_txn(
+        &self,
+        pairs: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    ) -> Result<(), TxnError> {
+        self.txn_write(
+            pairs.into_iter().map(|(k, v)| WalOp::Put(k, v)).collect(),
+            TXN_LOCK_DEADLINE,
+        )
+    }
+
+    /// Delete a key set **atomically across shards** via two-phase commit
+    /// with the default lock deadline. See [`ShardedDb::txn_write`].
+    pub fn multi_del_txn(&self, keys: impl IntoIterator<Item = Vec<u8>>) -> Result<(), TxnError> {
+        self.txn_write(keys.into_iter().map(WalOp::Del).collect(), TXN_LOCK_DEADLINE)
+    }
+
+    /// Run one cross-shard transaction: lock every touched key (per-shard
+    /// tables, ascending shard order, bounded by `deadline`), prepare on
+    /// every touched shard's WAL, then decide-and-apply shard by shard.
+    /// On `Ok` the whole batch is durable per the configured sync mode
+    /// and will survive any crash; on `Err` none of it will (modulo
+    /// [`TxnError::Crashed`], whose leftovers recovery resolves).
+    pub fn txn_write(&self, ops: Vec<WalOp>, deadline: Duration) -> Result<(), TxnError> {
+        let txn_id = self.txn.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut groups: Vec<Vec<WalOp>> = vec![Vec::new(); self.shards.len()];
+        for op in ops {
+            let key = match &op {
+                WalOp::Put(k, _) => k,
+                WalOp::Del(k) => k,
+            };
+            groups[self.shard_of(key)].push(op);
+        }
+        let touched: Vec<usize> = (0..groups.len()).filter(|&s| !groups[s].is_empty()).collect();
+        if touched.is_empty() {
+            self.txn.commits.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let keys: Vec<Vec<Vec<u8>>> = groups
+            .iter()
+            .map(|group| {
+                group
+                    .iter()
+                    .map(|op| match op {
+                        WalOp::Put(k, _) => k.clone(),
+                        WalOp::Del(k) => k.clone(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let unlock_upto = |count: usize| {
+            for &s in &touched[..count] {
+                self.txn.locks[s].unlock_keys(&keys[s]);
+            }
+        };
+
+        // Phase 0: lock, ascending shard order (global order = no
+        // deadlock between concurrent transactions), one shared deadline.
+        let lock_deadline = Instant::now() + deadline;
+        for (done, &s) in touched.iter().enumerate() {
+            if !self.txn.locks[s].lock_keys(&keys[s], lock_deadline) {
+                unlock_upto(done);
+                self.txn.aborts.fetch_add(1, Ordering::Relaxed);
+                return Err(TxnError::LockTimeout);
+            }
+        }
+
+        // Phase 1: prepare everywhere. A WAL failure aborts: every shard
+        // already prepared gets an abort decision so nothing stays in
+        // doubt longer than the failure itself.
+        for (done, &s) in touched.iter().enumerate() {
+            if self.crash_hit(TxnCrashPoint::AfterPrepares(done)) {
+                unlock_upto(touched.len());
+                return Err(TxnError::Crashed);
+            }
+            if let Err(e) = self.shards[s].txn_prepare(txn_id, &groups[s]) {
+                for &p in &touched[..done] {
+                    let _ = self.shards[p].txn_abort(txn_id);
+                }
+                unlock_upto(touched.len());
+                self.txn.aborts.fetch_add(1, Ordering::Relaxed);
+                return Err(TxnError::Io(e.to_string()));
+            }
+        }
+        if self.crash_hit(TxnCrashPoint::AfterPrepares(touched.len())) {
+            unlock_upto(touched.len());
+            return Err(TxnError::Crashed);
+        }
+
+        // Phase 2: decide + apply, shard by shard. The decision record is
+        // appended and the tree published under the same shard writer
+        // lock ([`crate::WriteTxn::commit_txn`]), so replay order always
+        // matches live apply order. The observer handle is cloned out
+        // *before* any shard writer lock is taken — same lock-order rule
+        // as `multi_put`.
+        let observer = self.observer.read().clone();
+        for (done, &s) in touched.iter().enumerate() {
+            let mut write = self.shards[s].begin_write().expect("writer lock");
+            for op in &groups[s] {
+                match op {
+                    WalOp::Put(k, v) => {
+                        write.put(k, v);
+                        if let Some(obs) = &observer {
+                            obs.on_put(k, v);
+                        }
+                    }
+                    WalOp::Del(k) => {
+                        write.del(k);
+                        if let Some(obs) = &observer {
+                            obs.on_del(k);
+                        }
+                    }
+                }
+            }
+            write.commit_txn(txn_id);
+            if self.crash_hit(TxnCrashPoint::AfterDecisions(done + 1)) {
+                unlock_upto(touched.len());
+                return Err(TxnError::Crashed);
+            }
+        }
+        unlock_upto(touched.len());
+        self.txn.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Transaction counters (coordinator-level, not per shard).
+    pub fn txn_stats(&self) -> TxnStatsSnapshot {
+        TxnStatsSnapshot {
+            commits: self.txn.commits.load(Ordering::Relaxed),
+            aborts: self.txn.aborts.load(Ordering::Relaxed),
+            recovered: self.txn.recovered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Arm an injected coordinator crash (see [`TxnCrashPoint`]): the
+    /// next transaction to reach the point consumes it and dies there.
+    /// Fault-matrix tests only; production code never arms this.
+    pub fn arm_txn_crash(&self, point: TxnCrashPoint) {
+        *self.txn.crash.lock() = Some(point);
+    }
+
+    /// Consume the armed crash point if the protocol just reached it.
+    fn crash_hit(&self, reached: TxnCrashPoint) -> bool {
+        let mut armed = self.txn.crash.lock();
+        if *armed == Some(reached) {
+            *armed = None;
+            true
+        } else {
+            false
         }
     }
 
@@ -506,6 +862,178 @@ mod tests {
         db.clear_write_observer();
         db.put(b"quiet", b"x");
         assert_eq!(rec.events.lock().unwrap().len(), 200, "cleared observer sees nothing");
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hatkvdb-sharded-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn multi_put_txn_commits_across_shards_and_survives_reopen() {
+        let dir = temp_dir("txn-commit");
+        let pairs: Vec<_> =
+            (0..32u32).map(|i| (format!("tk{i}").into_bytes(), vec![i as u8; 8])).collect();
+        {
+            let db = ShardedDb::open(&dir, DbConfig::default(), 4).unwrap();
+            db.multi_put_txn(pairs.clone()).unwrap();
+            assert_eq!(db.txn_stats().commits, 1);
+            for (k, v) in &pairs {
+                assert_eq!(db.get(k).as_deref(), Some(v.as_slice()));
+            }
+        }
+        let db = ShardedDb::open(&dir, DbConfig::default(), 4).unwrap();
+        assert_eq!(db.txn_stats().recovered, 0, "clean shutdown leaves nothing in doubt");
+        for (k, v) in &pairs {
+            assert_eq!(db.get(k).as_deref(), Some(v.as_slice()));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_del_txn_deletes_across_shards() {
+        let db = db(4);
+        let keys: Vec<Vec<u8>> = (0..20u32).map(|i| format!("dk{i}").into_bytes()).collect();
+        for k in &keys {
+            db.put(k, b"v");
+        }
+        db.multi_del_txn(keys.clone()).unwrap();
+        assert!(db.is_empty());
+        assert_eq!(db.txn_stats().commits, 1);
+    }
+
+    #[test]
+    fn crash_after_all_prepares_aborts_on_recovery() {
+        let dir = temp_dir("txn-crash-prepare");
+        let pairs: Vec<_> =
+            (0..16u32).map(|i| (format!("ck{i}").into_bytes(), b"doomed".to_vec())).collect();
+        {
+            let db = ShardedDb::open(&dir, DbConfig::default(), 4).unwrap();
+            db.put(b"anchor", b"pre-crash");
+            let touched: HashSet<usize> = pairs.iter().map(|(k, _)| db.shard_of(k)).collect();
+            db.arm_txn_crash(TxnCrashPoint::AfterPrepares(touched.len()));
+            assert_eq!(db.multi_put_txn(pairs.clone()), Err(TxnError::Crashed));
+            // The crashed coordinator never applied anything.
+            for (k, _) in &pairs {
+                assert_eq!(db.get(k), None);
+            }
+        }
+        // Restart: no commit decision anywhere => presumed abort.
+        let db = ShardedDb::open(&dir, DbConfig::default(), 4).unwrap();
+        assert_eq!(db.txn_stats().recovered, 1);
+        for (k, _) in &pairs {
+            assert_eq!(db.get(k), None, "unacknowledged txn must not surface");
+        }
+        assert_eq!(db.get(b"anchor").as_deref(), Some(&b"pre-crash"[..]));
+        // Resolution was made durable: a second reopen finds nothing.
+        drop(db);
+        let db = ShardedDb::open(&dir, DbConfig::default(), 4).unwrap();
+        assert_eq!(db.txn_stats().recovered, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_mid_decision_rolls_forward_on_recovery() {
+        let dir = temp_dir("txn-crash-decide");
+        let pairs: Vec<_> =
+            (0..16u32).map(|i| (format!("rk{i}").into_bytes(), b"decided".to_vec())).collect();
+        let touched: usize;
+        {
+            let db = ShardedDb::open(&dir, DbConfig::default(), 4).unwrap();
+            touched = pairs.iter().map(|(k, _)| db.shard_of(k)).collect::<HashSet<_>>().len();
+            assert!(touched >= 2, "need a genuinely cross-shard batch");
+            // Die after the first shard's commit decision: siblings stay
+            // prepared-but-undecided with commit evidence on shard one.
+            db.arm_txn_crash(TxnCrashPoint::AfterDecisions(1));
+            assert_eq!(db.multi_put_txn(pairs.clone()), Err(TxnError::Crashed));
+        }
+        let db = ShardedDb::open(&dir, DbConfig::default(), 4).unwrap();
+        assert_eq!(db.txn_stats().recovered, 1);
+        for (k, v) in &pairs {
+            assert_eq!(db.get(k).as_deref(), Some(v.as_slice()), "decided txn rolls forward");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_timeout_aborts_without_a_trace() {
+        let db = db(4);
+        let key = b"contended".to_vec();
+        let shard = db.shard_of(&key);
+        // Hold the key's lock directly, then watch a txn time out.
+        db.txn.locks[shard].lock_keys(std::slice::from_ref(&key), Instant::now());
+        assert_eq!(
+            db.txn_write(
+                vec![WalOp::Put(key.clone(), b"blocked".to_vec())],
+                Duration::from_millis(10),
+            ),
+            Err(TxnError::LockTimeout)
+        );
+        assert_eq!(db.txn_stats().aborts, 1);
+        assert_eq!(db.get(&key), None);
+        db.txn.locks[shard].unlock_keys(std::slice::from_ref(&key));
+        // Freed: the same txn now succeeds.
+        db.multi_put_txn([(key.clone(), b"after".to_vec())]).unwrap();
+        assert_eq!(db.get(&key).as_deref(), Some(&b"after"[..]));
+    }
+
+    #[test]
+    fn concurrent_txns_on_overlapping_keys_serialize() {
+        let db = db(8);
+        let keys: Vec<Vec<u8>> = (0..8u32).map(|i| format!("shared{i}").into_bytes()).collect();
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let db = db.clone();
+            let keys = keys.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..25u8 {
+                    let pairs: Vec<_> = keys.iter().map(|k| (k.clone(), vec![t, round])).collect();
+                    db.multi_put_txn(pairs).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Key locks held through the last decision mean every committed
+        // txn is all-or-nothing even across shards: the quiesced state
+        // carries exactly one (writer, round) marker on every key.
+        let first = db.get(&keys[0]).unwrap();
+        for k in &keys {
+            assert_eq!(db.get(k).unwrap(), first, "torn cross-shard txn visible");
+        }
+        assert_eq!(db.txn_stats().commits, 100);
+    }
+
+    #[test]
+    fn txn_observer_sees_mutations_like_multi_put() {
+        use std::sync::Mutex as StdMutex;
+
+        type Mutation = (Vec<u8>, Option<Vec<u8>>);
+        #[derive(Default)]
+        struct Recorder {
+            events: StdMutex<Vec<Mutation>>,
+        }
+        impl WriteObserver for Recorder {
+            fn on_put(&self, key: &[u8], value: &[u8]) {
+                self.events.lock().unwrap().push((key.to_vec(), Some(value.to_vec())));
+            }
+            fn on_del(&self, key: &[u8]) {
+                self.events.lock().unwrap().push((key.to_vec(), None));
+            }
+        }
+
+        let db = db(4);
+        let rec = Arc::new(Recorder::default());
+        db.set_write_observer(rec.clone());
+        db.multi_put_txn([(b"o1".to_vec(), b"v".to_vec()), (b"o2".to_vec(), b"v".to_vec())])
+            .unwrap();
+        db.multi_del_txn([b"o1".to_vec()]).unwrap();
+        let events = rec.events.lock().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2], (b"o1".to_vec(), None));
     }
 
     #[test]

@@ -166,6 +166,15 @@ node_counters! {
     counter kv_writer_wait_ns,
     /// Key+value bytes written into the storage backend.
     counter kv_bytes_written,
+    /// Cross-shard 2PC transactions committed by services on this node
+    /// (one per `multi*_txn` batch, regardless of shards touched).
+    counter kv_txn_commits,
+    /// Cross-shard 2PC transactions aborted (lock timeout, prepare
+    /// failure, or injected coordinator crash).
+    counter kv_txn_aborts,
+    /// In-doubt 2PC transactions resolved during recovery replay
+    /// (rolled forward or presumed-abort after a restart).
+    counter kv_txn_recovered,
     /// GETs resolved entirely by one-sided READs (server bypassed).
     counter onesided_gets,
     /// One-sided GET attempts that fell back to the RPC path (miss,
@@ -308,6 +317,13 @@ mod tests {
         assert_eq!(dedup.len(), names.len(), "field names must be unique");
         assert_eq!(fields.iter().find(|(n, _)| *n == "wrs_posted").unwrap().1, 2);
         assert_eq!(fields.iter().find(|(n, _)| *n == "inflight_hwm").unwrap().1, 9);
+        // The 2PC trio must be exposed (and as counters, not gauges) so
+        // `repro stats` and the Prometheus exporter surface txn outcomes.
+        for txn_field in ["kv_txn_commits", "kv_txn_aborts", "kv_txn_recovered"] {
+            assert!(names.contains(&txn_field), "{txn_field} missing from fields()");
+            let kind = FIELD_KINDS.iter().find(|(n, _)| *n == txn_field).unwrap().1;
+            assert_eq!(kind, MetricKind::Counter, "{txn_field} must be a counter");
+        }
     }
 
     /// Drift guard: every field the `NodeStats` struct actually carries

@@ -217,6 +217,12 @@ pub enum Phase {
     /// hat-metrics SLO engine so breaches land on the Perfetto timeline
     /// next to the RPCs that caused them.
     SloBreach = 20,
+    /// Proto: a 2PC coordinator durably prepared a transaction on one
+    /// shard (`arg` = shard index).
+    TxnPrepare = 21,
+    /// Proto: a 2PC decision record was logged for a transaction
+    /// (`arg` = 1 commit / 0 abort).
+    TxnDecision = 22,
 }
 
 impl Phase {
@@ -244,6 +250,8 @@ impl Phase {
             Phase::ReactorWakeup => "reactor_wakeup",
             Phase::ReactorResume => "reactor_resume",
             Phase::SloBreach => "slo_breach",
+            Phase::TxnPrepare => "txn_prepare",
+            Phase::TxnDecision => "txn_decision",
         }
     }
 
@@ -266,7 +274,12 @@ impl Phase {
             | Phase::Delivered
             | Phase::Completion
             | Phase::Wakeup => "sim",
-            Phase::Flush | Phase::Burst | Phase::OneSidedRead | Phase::OneSidedFallback => "proto",
+            Phase::Flush
+            | Phase::Burst
+            | Phase::OneSidedRead
+            | Phase::OneSidedFallback
+            | Phase::TxnPrepare
+            | Phase::TxnDecision => "proto",
             Phase::Note => "note",
         }
     }
@@ -293,6 +306,8 @@ impl Phase {
             18 => Phase::ReactorWakeup,
             19 => Phase::ReactorResume,
             20 => Phase::SloBreach,
+            21 => Phase::TxnPrepare,
+            22 => Phase::TxnDecision,
             _ => Phase::Note,
         }
     }

@@ -29,7 +29,13 @@ fn generated_hatkv_module_is_live_and_current() {
     assert!(regenerated.contains("pub struct HatKVClient"));
     let schema = hatrpc::hatkv::hat_k_v_schema();
     assert_eq!(schema.name, "HatKV");
-    assert_eq!(schema.functions.len(), 4);
+    assert_eq!(schema.functions.len(), 6);
+    for txn_fn in ["multiput_txn", "multidel_txn"] {
+        assert!(
+            schema.functions.iter().any(|(name, _)| name == txn_fn),
+            "{txn_fn} missing from the generated schema",
+        );
+    }
 }
 
 /// Parse hints at runtime, run RPCs through the full engine, verify the

@@ -1,0 +1,337 @@
+//! Seeded fault matrix for cross-shard 2PC transactions, end-to-end over
+//! HatRPC: {coordinator killed mid-prepare, participant QP flushed
+//! mid-commit, torn Prepare/Decision records at every byte offset}
+//! × {no acknowledged transaction is ever lost, no unacknowledged
+//! transaction is ever visible}.
+//!
+//! Every fault is deterministic: coordinator crashes are armed as
+//! protocol-step crash points ([`TxnCrashPoint`]) consumed by the 2PC
+//! state machine itself, QP flushes fire from triggers pulled inside the
+//! workload's own control flow (seeded [`FaultPlan`], no wall-clock
+//! pacing), and torn tails are synthesized byte-by-byte from captured
+//! WAL record images — the same run replays on any machine.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hatrpc::core::engine::{CallPolicy, HatClient};
+use hatrpc::hatkv::{hat_k_v_schema, HatKVClient, HatKvServer};
+use hatrpc::kvdb::{DbConfig, ShardedDb, SyncMode, TxnCrashPoint, TxnError};
+use hatrpc::rdma::{Fabric, FaultPlan, FaultScope, SimConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hat-txn-faults-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Storage config for crash tests: synchronous WAL appends, so the file
+/// image a "crashed" coordinator leaves behind is exactly what recovery
+/// will read — no buffered bytes in limbo.
+fn sync_config() -> DbConfig {
+    DbConfig { sync_mode: SyncMode::Sync, ..Default::default() }
+}
+
+fn client_policy() -> CallPolicy {
+    CallPolicy { deadline: Duration::from_secs(5), retries: 8, backoff: Duration::from_millis(1) }
+}
+
+fn keys() -> Vec<Vec<u8>> {
+    (0..16).map(|i| format!("txn-key-{i:02}").into_bytes()).collect()
+}
+
+fn values_of(keys: &[Vec<u8>], marker: &[u8]) -> Vec<Vec<u8>> {
+    keys.iter().map(|_| marker.to_vec()).collect()
+}
+
+/// Assert every key carries `want` in the given (re)opened backend.
+fn assert_uniform(db: &ShardedDb, keys: &[Vec<u8>], want: &[u8], ctx: &str) {
+    for key in keys {
+        let got = db.get(key);
+        assert_eq!(
+            got.as_deref(),
+            Some(want),
+            "{ctx}: key {:?} diverged",
+            String::from_utf8_lossy(key),
+        );
+    }
+}
+
+/// Coordinator killed mid-prepare (after 2 of 4 shards prepared, and
+/// again after all 4 prepared but before any decision): the client never
+/// gets an ack, so the transaction must be invisible — before the
+/// restart (the coordinator abandons without applying) and after it
+/// (recovery presumes abort for prepares with no commit decision
+/// anywhere). Acknowledged transactions survive the restart untouched.
+#[test]
+fn coordinator_crash_mid_prepare_keeps_acked_and_hides_unacked() {
+    let dir = temp_dir("coord-crash");
+    let fabric = Fabric::new(SimConfig::fast_test());
+    let snode = fabric.add_node("kv-server");
+    let server = HatKvServer::start_with_db(
+        &fabric,
+        &snode,
+        "kv",
+        hat_k_v_schema(),
+        ShardedDb::open(&dir, sync_config(), 4).unwrap(),
+    );
+    // The schema's throughput goal relaxes the backend to NoSync; this
+    // test is about crash images, so force synchronous appends back on.
+    server.db().reconfigure(sync_config());
+    assert_eq!(server.db().shard_count(), 4);
+
+    let cnode = fabric.add_node("txn-client");
+    let mut client = HatKVClient::new(
+        HatClient::new(&fabric, &cnode, "kv", server.schema()).with_policy(client_policy()),
+    );
+    let keys = keys();
+
+    // Acked baseline.
+    client.multiput_txn(keys.clone(), values_of(&keys, b"acked")).expect("baseline txn acks");
+
+    // Crash 1: two of four shards prepared, none decided.
+    server.db().arm_txn_crash(TxnCrashPoint::AfterPrepares(2));
+    let err = client
+        .multiput_txn(keys.clone(), values_of(&keys, b"crashed-mid"))
+        .expect_err("coordinator died mid-prepare; the client must not see an ack");
+    assert!(err.to_string().contains("txn"), "surfaced as a txn failure: {err}");
+
+    // Crash 2: fully prepared, still zero decisions — presumed abort.
+    server.db().arm_txn_crash(TxnCrashPoint::AfterPrepares(4));
+    client
+        .multiput_txn(keys.clone(), values_of(&keys, b"crashed-all"))
+        .expect_err("coordinator died before deciding");
+
+    // Unacked writes are invisible on the live store, and the crashed
+    // coordinator released its locks: a fresh transaction goes through.
+    assert_uniform(server.db(), &keys, b"acked", "live store after crashes");
+    client.multiput_txn(keys.clone(), values_of(&keys, b"acked-2")).expect("locks were released");
+    assert_uniform(server.db(), &keys, b"acked-2", "live store after recovery txn");
+
+    server.shutdown();
+
+    // Restart: recovery resolves both in-doubt transactions (presumed
+    // abort), keeps every acknowledged write, and shows no phantom.
+    let reopened = ShardedDb::open(&dir, sync_config(), 4).unwrap();
+    assert_uniform(&reopened, &keys, b"acked-2", "reopened store");
+    let stats = reopened.txn_stats();
+    assert_eq!(stats.recovered, 2, "both crashed txns resolved on restart: {stats:?}");
+
+    // The resolution is durable: a second restart finds nothing in doubt.
+    drop(reopened);
+    let again = ShardedDb::open(&dir, sync_config(), 4).unwrap();
+    assert_eq!(again.txn_stats().recovered, 0, "recovery already persisted its verdicts");
+    assert_uniform(&again, &keys, b"acked-2", "second reopen");
+    drop(again);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Participant connection torn down mid-commit: a seeded fault plan
+/// flushes the writer's QP at trigger points pulled from the writer's
+/// own round loop. The retry policy re-issues the transaction on a fresh
+/// channel (multiput_txn is idempotent), so every round still acks;
+/// concurrent snapshots never see a torn shard; and after a restart the
+/// final acknowledged round is intact with nothing left in doubt.
+#[test]
+fn participant_qp_flush_mid_commit_retries_without_loss_or_phantoms() {
+    const ROUNDS: usize = 16;
+    let dir = temp_dir("qp-flush");
+    let (plan, trigger) =
+        FaultPlan::new(0x2BC0FFEE).flush_qp_on_trigger(FaultScope::Node("txn-writer".into()));
+    let fabric = Fabric::new(SimConfig::fast_test().with_fault_plan(plan));
+    let snode = fabric.add_node("kv-server");
+    let server = HatKvServer::start_with_db(
+        &fabric,
+        &snode,
+        "kv",
+        hat_k_v_schema(),
+        ShardedDb::open(&dir, sync_config(), 4).unwrap(),
+    );
+    server.db().reconfigure(sync_config());
+
+    let keys = keys();
+    let marker = |round: usize| format!("r{round:04}").into_bytes();
+    server.db().multi_put_txn(keys.iter().map(|k| (k.clone(), marker(0)))).expect("seed");
+
+    // Concurrent reader on live snapshots: within a shard the decide
+    // phase applies atomically, so a mixed marker inside one shard is a
+    // torn transaction. (Across shards, mid-decide snapshots may
+    // legitimately straddle two rounds — crash atomicity is a durability
+    // guarantee, not snapshot isolation.)
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let db = server.db().clone();
+        let keys = keys.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut snapshots = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let read = db.begin_read().unwrap();
+                let mut per_shard: Vec<Option<Vec<u8>>> = vec![None; db.shard_count()];
+                for key in &keys {
+                    let value = read.get(key).expect("seeded key present");
+                    let shard = db.shard_of(key);
+                    match &per_shard[shard] {
+                        None => per_shard[shard] = Some(value),
+                        Some(seen) => assert_eq!(
+                            seen, &value,
+                            "torn txn inside shard {shard} at snapshot {snapshots}",
+                        ),
+                    }
+                }
+                snapshots += 1;
+                std::thread::yield_now();
+            }
+            snapshots
+        })
+    };
+
+    let wnode = fabric.add_node("txn-writer");
+    let mut client = HatKVClient::new(
+        HatClient::new(&fabric, &wnode, "kv", server.schema()).with_policy(client_policy()),
+    );
+    for round in 1..=ROUNDS {
+        // Deterministic fault points: the QP flush is armed from the
+        // workload's own control flow, hitting the very next WR this
+        // writer posts — mid-commit from the protocol's point of view.
+        if round == 5 || round == 11 {
+            trigger.fire();
+        }
+        client
+            .multiput_txn(keys.clone(), values_of(&keys, &marker(round)))
+            .expect("every round must eventually ack through retries");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snapshots = reader.join().expect("reader thread");
+    assert!(snapshots > 0, "the reader sampled live snapshots");
+
+    // The faults really fired and were absorbed by retries.
+    let writer = fabric.node("txn-writer").expect("writer node").stats_snapshot();
+    assert!(writer.qp_errors >= 1, "QP flush must be visible: {writer:?}");
+    assert!(writer.calls_retried >= 1, "the txn recovered via retries: {writer:?}");
+
+    // No acked round lost: the final state is exactly the last marker.
+    assert_uniform(server.db(), &keys, &marker(ROUNDS), "quiesced live store");
+    let commits = server.db().txn_stats().commits;
+    assert!(commits as usize > ROUNDS, "every acked round committed (plus the seed): {commits}");
+
+    server.shutdown();
+
+    // Restart: the acknowledged history survives, and a flushed QP never
+    // leaves a transaction in doubt (the server either finished the
+    // commit or never started it — only the reply was lost).
+    let reopened = ShardedDb::open(&dir, sync_config(), 4).unwrap();
+    assert_uniform(&reopened, &keys, &marker(ROUNDS), "reopened store");
+    assert_eq!(reopened.txn_stats().recovered, 0, "clean logs: nothing was in doubt");
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Torn Prepare/Decision records at every byte offset. Record images for
+/// one committed baseline txn and one crashed txn are captured from real
+/// runs, then every crash-consistent disk state is synthesized: the
+/// protocol appends P0, P1, D0, D1 in order (prepares everywhere before
+/// any decision, `SyncMode::Sync`), so a crash leaves every earlier
+/// record intact and the in-flight record torn at an arbitrary byte.
+/// Recovery must make the second txn all-or-nothing at every offset —
+/// visible on every shard iff the first commit decision survived — and
+/// must never touch the acknowledged baseline.
+#[test]
+fn torn_wal_truncation_at_every_offset_is_all_or_nothing() {
+    const BASE: &[u8] = b"base";
+    const SECOND: &[u8] = b"second";
+    let cfg = sync_config;
+
+    // Four keys, two per shard of a 2-shard store.
+    let probe = ShardedDb::new(cfg(), 2);
+    let mut picked: Vec<Vec<u8>> = Vec::new();
+    let mut per_shard = [0usize; 2];
+    for i in 0..64u32 {
+        let key = format!("torn-{i:02}").into_bytes();
+        let shard = probe.shard_of(&key);
+        if per_shard[shard] < 2 {
+            per_shard[shard] += 1;
+            picked.push(key);
+        }
+        if picked.len() == 4 {
+            break;
+        }
+    }
+    assert_eq!(per_shard, [2, 2], "need two keys on each shard");
+
+    let run = |crash: Option<TxnCrashPoint>, tag: &str| -> (Vec<u8>, Vec<u8>) {
+        let dir = temp_dir(tag);
+        let db = ShardedDb::open(&dir, cfg(), 2).unwrap();
+        db.multi_put_txn(picked.iter().map(|k| (k.clone(), BASE.to_vec()))).expect("baseline");
+        if let Some(point) = crash {
+            db.arm_txn_crash(point);
+            let err = db
+                .multi_put_txn(picked.iter().map(|k| (k.clone(), SECOND.to_vec())))
+                .expect_err("armed crash fires");
+            assert!(matches!(err, TxnError::Crashed), "got {err:?}");
+        }
+        drop(db);
+        let bytes = |shard| std::fs::read(ShardedDb::wal_path(&dir, shard)).unwrap();
+        let images = (bytes(0), bytes(1));
+        let _ = std::fs::remove_dir_all(&dir);
+        images
+    };
+
+    // Identical ops against identical fresh stores produce byte-identical
+    // logs (txn ids restart at 1), so record boundaries fall out of three
+    // captures: baseline only; baseline + both prepares; the full run.
+    let (base0, base1) = run(None, "capture-base");
+    let (prep0, prep1) = run(Some(TxnCrashPoint::AfterPrepares(2)), "capture-prep");
+    let (full0, full1) = run(Some(TxnCrashPoint::AfterDecisions(2)), "capture-full");
+    assert_eq!(&prep0[..base0.len()], &base0[..], "prepare run extends the baseline image");
+    assert_eq!(&full0[..prep0.len()], &prep0[..], "full run extends the prepare image");
+    let p0 = &prep0[base0.len()..];
+    let p1 = &prep1[base1.len()..];
+    let d0 = &full0[prep0.len()..];
+    let d1 = &full1[prep1.len()..];
+    assert!(!p0.is_empty() && !p1.is_empty() && !d0.is_empty() && !d1.is_empty());
+
+    // Every crash-consistent state: (shard-0 image, shard-1 image,
+    // expected uniform value after recovery).
+    let cat = |parts: &[&[u8]]| parts.concat();
+    let mut cases: Vec<(Vec<u8>, Vec<u8>, &[u8])> = Vec::new();
+    for b in 0..=p0.len() {
+        // Crash while appending shard 0's prepare: nothing decided.
+        cases.push((cat(&[&base0, &p0[..b]]), base1.clone(), BASE));
+    }
+    for b in 0..=p1.len() {
+        // Crash while appending shard 1's prepare.
+        cases.push((prep0.clone(), cat(&[&base1, &p1[..b]]), BASE));
+    }
+    for b in 0..=d0.len() {
+        // Crash while appending the first commit decision: the txn
+        // exists iff that decision landed whole.
+        let expect = if b == d0.len() { SECOND } else { BASE };
+        cases.push((cat(&[&prep0, &d0[..b]]), prep1.clone(), expect));
+    }
+    for b in 0..=d1.len() {
+        // Crash while appending shard 1's decision: shard 0's commit
+        // decision already proves the verdict, so recovery rolls the
+        // in-doubt shard forward no matter where the tear lands.
+        cases.push((full0.clone(), cat(&[&prep1, &d1[..b]]), SECOND));
+    }
+    assert!(cases.len() > 100, "the matrix covers every byte offset: {}", cases.len());
+
+    for (i, (image0, image1, expect)) in cases.iter().enumerate() {
+        let dir = temp_dir(&format!("torn-{i}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(ShardedDb::wal_path(&dir, 0), image0).unwrap();
+        std::fs::write(ShardedDb::wal_path(&dir, 1), image1).unwrap();
+        let db = ShardedDb::open(&dir, cfg(), 2).unwrap();
+        // Atomic: all four keys uniform, and never a lost baseline.
+        assert_uniform(&db, &picked, expect, &format!("offset case {i}"));
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
